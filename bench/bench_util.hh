@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared helpers for the paper-reproduction bench binaries: banner
+ * printing and paper-vs-measured comparison rows.
+ */
+
+#ifndef PCA_BENCH_BENCH_UTIL_HH
+#define PCA_BENCH_BENCH_UTIL_HH
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/harness.hh"
+#include "harness/microbench.hh"
+#include "stats/descriptive.hh"
+#include "support/random.hh"
+#include "support/strutil.hh"
+
+namespace pca::bench
+{
+
+/** Print the standard exhibit banner. */
+inline void
+banner(const std::string &exhibit, const std::string &caption)
+{
+    std::cout << std::string(72, '=') << '\n'
+              << exhibit << " — " << caption << '\n'
+              << std::string(72, '=') << "\n\n";
+}
+
+/** Print a paper-vs-measured line. */
+inline void
+paperRef(const std::string &what, double paper, double measured,
+         int digits = 1)
+{
+    std::cout << "  " << padRight(what, 44) << " paper "
+              << padLeft(fmtDouble(paper, digits), 9)
+              << "   measured "
+              << padLeft(fmtDouble(measured, digits), 9) << '\n';
+}
+
+/** Collect null-benchmark errors for one configuration. */
+inline std::vector<double>
+nullErrors(harness::HarnessConfig cfg, int runs,
+           std::uint64_t seed = 12345)
+{
+    std::vector<double> errs;
+    errs.reserve(static_cast<std::size_t>(runs));
+    const harness::NullBench bench;
+    for (int r = 0; r < runs; ++r) {
+        cfg.seed = mixSeed(seed, static_cast<std::uint64_t>(r));
+        errs.push_back(static_cast<double>(
+            harness::MeasurementHarness(cfg).measure(bench).error()));
+    }
+    return errs;
+}
+
+} // namespace pca::bench
+
+#endif // PCA_BENCH_BENCH_UTIL_HH

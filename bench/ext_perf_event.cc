@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Forward-looking extension: the paper's accuracy questions re-asked
+ * against perf_event, the interface that replaced perfctr and
+ * perfmon2 in Linux 2.6.31 (a modern reproduction of the paper has
+ * no other choice — see DESIGN.md).
+ *
+ * Reported: null-benchmark fixed error for the perf_event read paths
+ * (read() syscalls vs the mmap/RDPMC self-monitoring read) next to
+ * the paper's two extensions at their best patterns, and the
+ * per-counter scaling that replaces Figure 5.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "harness/machine.hh"
+#include "isa/assembler.hh"
+#include "perfevent/libperf.hh"
+#include "support/table.hh"
+
+namespace
+{
+
+using namespace pca;
+using harness::Machine;
+using harness::MachineConfig;
+using isa::Assembler;
+
+/** perf_event read-read null error with nr events. */
+SCount
+peNullError(cpu::Processor proc, PlMask pl, int nr, bool fast)
+{
+    MachineConfig mc;
+    mc.processor = proc;
+    mc.usePerfEvent = true;
+    mc.interruptsEnabled = false;
+    Machine m(mc);
+    perfevent::LibPerf &lib = *m.libPerf();
+    perfevent::PerfSpec spec;
+    spec.events = {cpu::EventType::InstrRetired};
+    const cpu::EventType menu[] = {cpu::EventType::BrInstRetired,
+                                   cpu::EventType::IcacheMiss,
+                                   cpu::EventType::ItlbMiss};
+    for (int i = 0; i + 1 < nr; ++i)
+        spec.events.push_back(menu[i % 3]);
+    spec.pl = pl;
+
+    std::vector<Count> c0, c1;
+    Assembler a("main");
+    lib.emitOpenAll(a, spec);
+    lib.emitEnable(a);
+    auto cap = [](std::vector<Count> &dst) {
+        return [&dst](const std::vector<Count> &v) { dst = v; };
+    };
+    if (fast) {
+        lib.emitReadFast(a, nr, cap(c0));
+        lib.emitReadFast(a, nr, cap(c1));
+    } else {
+        lib.emitReadAll(a, nr, cap(c0));
+        lib.emitReadAll(a, nr, cap(c1));
+    }
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+    return static_cast<SCount>(c1.at(0)) -
+        static_cast<SCount>(c0.at(0));
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::banner("Extension (perf_event)",
+                  "The study's questions on the modern interface");
+
+    std::cout << "Null-benchmark fixed error (read-read, one "
+                 "counter, K8), vs the paper's\ninterfaces at their "
+                 "best patterns (EXPERIMENTS.md):\n\n";
+    TextTable t({"interface / read path", "user", "user+kernel"});
+    t.addRow({"perf_event, read() syscalls",
+              std::to_string(peNullError(cpu::Processor::AthlonX2,
+                                         PlMask::User, 1, false)),
+              std::to_string(peNullError(cpu::Processor::AthlonX2,
+                                         PlMask::UserKernel, 1,
+                                         false))});
+    t.addRow({"perf_event, mmap+RDPMC fast read",
+              std::to_string(peNullError(cpu::Processor::AthlonX2,
+                                         PlMask::User, 1, true)),
+              std::to_string(peNullError(cpu::Processor::AthlonX2,
+                                         PlMask::UserKernel, 1,
+                                         true))});
+    t.addRow({"perfmon2 direct (paper: rr)", "37", "573"});
+    t.addRow({"perfctr direct, TSC on (paper: rr)", "84", "84"});
+    t.print(std::cout);
+
+    std::cout << "\nPer-counter scaling (the Figure 5 question), "
+                 "user+kernel on K8:\n\n";
+    TextTable s({"read path", "1 ctr", "2 ctrs", "3 ctrs", "4 ctrs"});
+    for (bool fast : {false, true}) {
+        std::vector<std::string> row{
+            fast ? "mmap+RDPMC" : "read() per fd"};
+        for (int nr = 1; nr <= 4; ++nr)
+            row.push_back(std::to_string(peNullError(
+                cpu::Processor::AthlonX2, PlMask::UserKernel, nr,
+                fast)));
+        s.addRow(row);
+    }
+    s.print(std::cout);
+
+    std::cout
+        << "\nFindings:\n"
+        << "  - perf_event's read() path pays a whole syscall per "
+           "event: its\n    per-counter slope is several times "
+           "perfmon2's ~111 instructions;\n"
+        << "  - its mmap self-monitoring read matches perfctr's "
+           "fast-read accuracy —\n    the design that the paper "
+           "showed to be the accurate one survived;\n"
+        << "  - the paper's guidelines transfer: use the fast "
+           "user-space read path,\n    and user-mode-only counting "
+           "where possible.\n";
+    return 0;
+}

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator itself:
+ * interpreter throughput, loop fast-forward, machine boot, and full
+ * measurement cost. These bound the wall-clock cost of the
+ * paper-reproduction studies.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "harness/harness.hh"
+#include "harness/microbench.hh"
+#include "isa/assembler.hh"
+
+namespace
+{
+
+using namespace pca;
+using harness::AccessPattern;
+using harness::CountingMode;
+using harness::HarnessConfig;
+using harness::Interface;
+using harness::LoopBench;
+using harness::Machine;
+using harness::MachineConfig;
+using harness::MeasurementHarness;
+using harness::NullBench;
+using isa::Assembler;
+using isa::Reg;
+
+void
+BM_InterpreterThroughput(benchmark::State &state)
+{
+    // Pure interpretation (fast-forward disabled).
+    const auto iters = static_cast<Count>(state.range(0));
+    for (auto _ : state) {
+        MachineConfig cfg;
+        cfg.processor = cpu::Processor::AthlonX2;
+        cfg.iface = Interface::Pm;
+        cfg.interruptsEnabled = false;
+        cfg.fastForward = false;
+        Machine m(cfg);
+        Assembler a("main");
+        a.movImm(Reg::Eax, 0);
+        int loop = a.label();
+        a.addImm(Reg::Eax, 1)
+            .cmpImm(Reg::Eax, static_cast<std::int64_t>(iters))
+            .jne(loop)
+            .halt();
+        m.addUserBlock(a.take());
+        m.finalize();
+        benchmark::DoNotOptimize(m.run());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(iters) * 3);
+}
+BENCHMARK(BM_InterpreterThroughput)->Arg(10000)->Arg(100000);
+
+void
+BM_FastForwardedLoop(benchmark::State &state)
+{
+    const auto iters = static_cast<Count>(state.range(0));
+    for (auto _ : state) {
+        MachineConfig cfg;
+        cfg.processor = cpu::Processor::AthlonX2;
+        cfg.iface = Interface::Pm;
+        cfg.interruptsEnabled = false;
+        Machine m(cfg);
+        Assembler a("main");
+        a.movImm(Reg::Eax, 0);
+        int loop = a.label();
+        a.addImm(Reg::Eax, 1)
+            .cmpImm(Reg::Eax, static_cast<std::int64_t>(iters))
+            .jne(loop)
+            .halt();
+        m.addUserBlock(a.take());
+        m.finalize();
+        benchmark::DoNotOptimize(m.run());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(iters) * 3);
+}
+BENCHMARK(BM_FastForwardedLoop)
+    ->Arg(100000)
+    ->Arg(10000000)
+    ->Arg(1000000000);
+
+void
+BM_MachineBoot(benchmark::State &state)
+{
+    for (auto _ : state) {
+        MachineConfig cfg;
+        cfg.processor = cpu::Processor::Core2Duo;
+        cfg.iface = Interface::Pc;
+        Machine m(cfg);
+        Assembler a("main");
+        a.halt();
+        m.addUserBlock(a.take());
+        m.finalize();
+        benchmark::DoNotOptimize(m.run());
+    }
+}
+BENCHMARK(BM_MachineBoot);
+
+void
+BM_NullMeasurement(benchmark::State &state)
+{
+    const NullBench bench;
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        HarnessConfig cfg;
+        cfg.processor = cpu::Processor::Core2Duo;
+        cfg.iface = Interface::PHpm;
+        cfg.pattern = AccessPattern::StartRead;
+        cfg.seed = ++seed;
+        benchmark::DoNotOptimize(
+            MeasurementHarness(cfg).measure(bench));
+    }
+}
+BENCHMARK(BM_NullMeasurement);
+
+void
+BM_LoopMeasurementWithInterrupts(benchmark::State &state)
+{
+    const LoopBench bench(1000000);
+    std::uint64_t seed = 0;
+    for (auto _ : state) {
+        HarnessConfig cfg;
+        cfg.processor = cpu::Processor::PentiumD;
+        cfg.iface = Interface::Pc;
+        cfg.pattern = AccessPattern::ReadRead;
+        cfg.seed = ++seed;
+        benchmark::DoNotOptimize(
+            MeasurementHarness(cfg).measure(bench));
+    }
+}
+BENCHMARK(BM_LoopMeasurementWithInterrupts);
+
+} // namespace

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Related-work reproduction (paper §9, Korn/Teller/Castillo "Just
+ * how accurate are performance counters?"): compare measured event
+ * counts against analytical models for three micro-benchmarks — a
+ * linear instruction sequence (i-cache misses), the loop (retired
+ * instructions), and a strided array walk (d-cache and TLB misses).
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "harness/harness.hh"
+#include "harness/microbench.hh"
+#include "support/table.hh"
+
+int
+main()
+{
+    using namespace pca;
+    using harness::AccessPattern;
+    using harness::ArrayWalkBench;
+    using harness::CountingMode;
+    using harness::HarnessConfig;
+    using harness::Interface;
+    using harness::LinearBench;
+    using harness::LoopBench;
+    using harness::MeasurementHarness;
+
+    bench::banner("Related work (Korn et al.)",
+                  "Measured vs analytical event counts");
+
+    struct Probe
+    {
+        const char *label;
+        const harness::MicroBenchmark *bench;
+        cpu::EventType event;
+    };
+
+    const LinearBench linear(16384);
+    const LoopBench loop(100000);
+    const ArrayWalkBench walk64(4096, 64);   // one line per element
+    const ArrayWalkBench walk16(4096, 16);   // four elements per line
+    const ArrayWalkBench walk4k(512, 4096);  // one page per element
+
+    const Probe probes[] = {
+        {"linear/16384: instructions", &linear,
+         cpu::EventType::InstrRetired},
+        {"linear/16384: icache misses", &linear,
+         cpu::EventType::IcacheMiss},
+        {"loop/100000: instructions", &loop,
+         cpu::EventType::InstrRetired},
+        {"walk 4096x64B: dcache misses", &walk64,
+         cpu::EventType::DcacheMiss},
+        {"walk 4096x16B: dcache misses", &walk16,
+         cpu::EventType::DcacheMiss},
+        {"walk 4096x64B: dcache accesses", &walk64,
+         cpu::EventType::DcacheAccess},
+        {"walk 512x4KiB: dtlb misses", &walk4k,
+         cpu::EventType::DtlbMiss},
+    };
+
+    for (auto proc : cpu::allProcessors()) {
+        const auto &arch = cpu::microArch(proc);
+        std::cout << "--- " << arch.name << " ---\n";
+        TextTable t({"probe", "expected", "measured", "deviation"});
+        for (const Probe &p : probes) {
+            HarnessConfig cfg;
+            cfg.processor = proc;
+            cfg.iface = Interface::Pm;
+            cfg.pattern = AccessPattern::ReadRead;
+            cfg.mode = CountingMode::User;
+            cfg.primaryEvent = p.event;
+            cfg.interruptsEnabled = false;
+            cfg.seed = 4711;
+            const auto m =
+                MeasurementHarness(cfg).measure(*p.bench);
+            const auto expected =
+                p.bench->expectedEvents(p.event, arch);
+            const auto exp_v = expected ? *expected : 0;
+            t.addRow({p.label,
+                      fmtCount(static_cast<long long>(exp_v)),
+                      fmtCount(m.delta()),
+                      fmtCount(m.delta() -
+                               static_cast<SCount>(exp_v))});
+        }
+        t.print(std::cout);
+        std::cout << '\n';
+    }
+
+    std::cout
+        << "Reading: instruction counts deviate only by the "
+           "measurement overhead\n(the paper's fixed error); cache "
+           "and TLB events deviate by at most a\nfew lines/pages "
+           "(harness code sharing lines with the benchmark) — the\n"
+           "counters themselves are exact in the simulated PMU, as "
+           "Korn et al.\nfound for events with exact analytical "
+           "models.\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Section 8 of the paper as an executable artifact: the guidelines
+ * engine runs a calibration study per analyst scenario and prints
+ * the recommended infrastructure/pattern plus the paper's advice.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "core/guidelines.hh"
+
+int
+main()
+{
+    using namespace pca;
+    using core::GuidelineQuery;
+    using core::Guidelines;
+
+    bench::banner("Section 8",
+                  "Guidelines for accurate counter measurements");
+
+    const Guidelines engine(7, 808);
+
+    {
+        std::cout << "Scenario 1: user-mode-only counts of short "
+                     "sections (JIT phases)\n"
+                  << std::string(60, '-') << '\n';
+        GuidelineQuery q;
+        q.processor = cpu::Processor::Core2Duo;
+        q.mode = harness::CountingMode::User;
+        q.shortSections = true;
+        engine.recommend(q).print(std::cout);
+    }
+    {
+        std::cout << "\nScenario 2: user+kernel counts (syscall-heavy "
+                     "workload)\n"
+                  << std::string(60, '-') << '\n';
+        GuidelineQuery q;
+        q.processor = cpu::Processor::AthlonX2;
+        q.mode = harness::CountingMode::UserKernel;
+        engine.recommend(q).print(std::cout);
+    }
+    {
+        std::cout << "\nScenario 3: portable tooling (PAPI "
+                     "required), cycles measured\n"
+                  << std::string(60, '-') << '\n';
+        GuidelineQuery q;
+        q.processor = cpu::Processor::PentiumD;
+        q.mode = harness::CountingMode::UserKernel;
+        q.requirePapi = true;
+        q.measuresCycles = true;
+        engine.recommend(q).print(std::cout);
+    }
+
+    std::cout << "\nPaper cross-check (Sec. 4.2): perfmon-family "
+                 "should win scenario 1,\nperfctr-family scenario "
+                 "2.\n";
+    return 0;
+}

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Table 1 of the paper: the processors used in the study, their
+ * micro-architectures, clock frequencies, and counter resources —
+ * printed from the simulator's MicroArch descriptors together with
+ * the timing parameters the simulation substitutes for real silicon.
+ */
+
+#include <iostream>
+
+#include "bench_util.hh"
+#include "cpu/microarch.hh"
+#include "support/table.hh"
+
+int
+main()
+{
+    using namespace pca;
+
+    bench::banner("Table 1", "Processors used in this study");
+
+    TextTable t({"", "Processor", "GHz", "uArch", "fixed", "prg."});
+    for (auto proc : cpu::allProcessors()) {
+        const auto &m = cpu::microArch(proc);
+        t.addRow({cpu::processorCode(proc), m.name,
+                  fmtDouble(m.ghz, 1), m.uarch,
+                  std::to_string(m.fixedCounters) + "+1",
+                  std::to_string(m.progCounters)});
+    }
+    t.print(std::cout);
+    std::cout << "\n(fixed counters listed as n+1: the IA32 TSC is "
+                 "always present)\n\n";
+
+    std::cout << "Simulation timing parameters (substituted for real "
+                 "silicon; see DESIGN.md):\n\n";
+    TextTable p({"", "fetchB", "decode", "LSD", "mispred", "syscall",
+                 "tick-instr", "kscale"});
+    for (auto proc : cpu::allProcessors()) {
+        const auto &m = cpu::microArch(proc);
+        p.addRow({cpu::processorCode(proc),
+                  std::to_string(m.fetchBytes),
+                  std::to_string(m.decodeWidth),
+                  m.loopStreamDetector ? "yes" : "no",
+                  std::to_string(m.mispredictPenalty),
+                  std::to_string(m.syscallEntryCycles),
+                  std::to_string(m.timerHandlerInstrs),
+                  fmtDouble(m.kernelCostScale, 2)});
+    }
+    p.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Calibrating a measurement setup the way the paper's methodology
+ * prescribes (§3.4-3.5): run the null benchmark under your exact
+ * configuration to learn the fixed overhead, run the loop benchmark
+ * to learn the duration-dependent overhead, then correct real
+ * measurements with both.
+ *
+ * This is the workflow Najafzadeh et al. propose (null probes) made
+ * concrete; the example shows that after calibration the corrected
+ * counts match the analytical model to within a few instructions.
+ */
+
+#include <iostream>
+
+#include "harness/harness.hh"
+#include "harness/microbench.hh"
+#include "stats/descriptive.hh"
+#include "stats/regression.hh"
+#include "support/strutil.hh"
+#include "support/table.hh"
+
+int
+main()
+{
+    using namespace pca;
+    using namespace pca::harness;
+
+    // The configuration we want to calibrate: perfctr, start-read,
+    // user+kernel counting on a Core 2 Duo.
+    HarnessConfig cfg;
+    cfg.processor = cpu::Processor::Core2Duo;
+    cfg.iface = Interface::Pc;
+    cfg.pattern = AccessPattern::StartRead;
+    cfg.mode = CountingMode::UserKernel;
+
+    // --- Step 1: fixed overhead from the null benchmark ---
+    std::vector<double> null_errs;
+    for (int r = 0; r < 15; ++r) {
+        cfg.seed = 100 + static_cast<std::uint64_t>(r);
+        null_errs.push_back(static_cast<double>(
+            MeasurementHarness(cfg).measure(NullBench{}).error()));
+    }
+    const double fixed_overhead = stats::median(null_errs);
+    std::cout << "fixed overhead (null benchmark median):   "
+              << fixed_overhead << " instructions\n";
+
+    // --- Step 2: variable overhead from the loop benchmark ---
+    std::vector<double> xs, ys;
+    for (Count size : {100000u, 400000u, 700000u, 1000000u}) {
+        const LoopBench loop(size);
+        for (int r = 0; r < 6; ++r) {
+            cfg.seed = 500 + size / 1000 +
+                static_cast<std::uint64_t>(r);
+            const auto m = MeasurementHarness(cfg).measure(loop);
+            xs.push_back(static_cast<double>(size));
+            ys.push_back(static_cast<double>(m.error()));
+        }
+    }
+    const auto fit = stats::linearFit(xs, ys);
+    std::cout << "variable overhead (loop regression slope): "
+              << fmtSci(fit.slope, 3) << " instructions/iteration\n\n";
+
+    // --- Step 3: correct real measurements ---
+    std::cout << "applying the calibration to new measurements:\n\n";
+    TextTable t({"iters", "raw c-delta", "corrected", "model",
+                 "residual"});
+    for (Count size : {5000u, 50000u, 500000u, 2000000u}) {
+        const LoopBench loop(size);
+        cfg.seed = 9000 + size;
+        const auto m = MeasurementHarness(cfg).measure(loop);
+        const double corrected =
+            static_cast<double>(m.delta()) - fixed_overhead -
+            fit.slope * static_cast<double>(size);
+        const auto model =
+            static_cast<double>(loop.expectedInstructions());
+        t.addRow({fmtCount(static_cast<long long>(size)),
+                  fmtCount(m.delta()),
+                  fmtDouble(corrected, 1),
+                  fmtCount(static_cast<long long>(model)),
+                  fmtDouble(corrected - model, 1)});
+    }
+    t.print(std::cout);
+    std::cout << "\nResiduals within a few tens of instructions "
+                 "even for multi-million\ninstruction runs — versus "
+                 "raw errors of hundreds to thousands.\n";
+    return 0;
+}

@@ -1,0 +1,65 @@
+#include "core/compensate.hh"
+
+#include "harness/microbench.hh"
+#include "stats/descriptive.hh"
+#include "stats/regression.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace pca::core
+{
+
+Compensator
+Compensator::calibrate(const harness::HarnessConfig &cfg)
+{
+    return calibrate(cfg, Options{});
+}
+
+Compensator
+Compensator::calibrate(const harness::HarnessConfig &cfg,
+                       const Options &opt)
+{
+    pca_assert(opt.nullRuns >= 3);
+    pca_assert(opt.loopSizes.size() >= 2);
+
+    harness::HarnessConfig run_cfg = cfg;
+
+    // Fixed overhead: median null-benchmark error.
+    std::vector<double> null_errs;
+    const harness::NullBench null_bench;
+    for (int r = 0; r < opt.nullRuns; ++r) {
+        run_cfg.seed = mixSeed(opt.seed, static_cast<Count>(r));
+        null_errs.push_back(static_cast<double>(
+            harness::MeasurementHarness(run_cfg)
+                .measure(null_bench)
+                .error()));
+    }
+    const double fixed = stats::median(null_errs);
+
+    // Variable overhead: error vs true instruction count.
+    std::vector<double> xs, ys;
+    for (Count size : opt.loopSizes) {
+        const harness::LoopBench loop(size);
+        for (int r = 0; r < opt.runsPerSize; ++r) {
+            run_cfg.seed =
+                mixSeed(opt.seed, size * 31 + static_cast<Count>(r));
+            const auto m =
+                harness::MeasurementHarness(run_cfg).measure(loop);
+            xs.push_back(
+                static_cast<double>(loop.expectedInstructions()));
+            ys.push_back(static_cast<double>(m.error()) - fixed);
+        }
+    }
+    const auto fit = stats::linearFit(xs, ys);
+    // Clamp tiny negative slopes (user-mode noise) to zero.
+    const double slope = fit.slope > 0 ? fit.slope : 0.0;
+    return Compensator(fixed, slope);
+}
+
+double
+Compensator::compensate(SCount delta) const
+{
+    return (static_cast<double>(delta) - fixed) / (1.0 + slope);
+}
+
+} // namespace pca::core

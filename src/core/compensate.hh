@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Measurement-error compensation (paper §9, Najafzadeh & Chaiken's
+ * null-probe methodology, quantified): calibrate a configuration's
+ * fixed overhead with the null benchmark and its duration-
+ * proportional overhead with loop regressions, then correct real
+ * measurements with both.
+ */
+
+#ifndef PCA_CORE_COMPENSATE_HH
+#define PCA_CORE_COMPENSATE_HH
+
+#include <vector>
+
+#include "harness/harness.hh"
+
+namespace pca::core
+{
+
+/**
+ * A calibrated corrector for one measurement configuration.
+ *
+ * The model: measured = true + fixed + slope_per_instr * true,
+ * so true = (measured - fixed) / (1 + slope_per_instr).
+ * The fixed part is the median null-benchmark error; the slope comes
+ * from regressing loop-benchmark errors against their known
+ * instruction counts (nonzero only for user+kernel counting, §5).
+ */
+class Compensator
+{
+  public:
+    struct Options
+    {
+        int nullRuns = 15;
+        /** Sizes must span several timer ticks for a stable slope. */
+        std::vector<Count> loopSizes = {500000, 2000000, 4000000,
+                                        8000000};
+        int runsPerSize = 5;
+        std::uint64_t seed = 4242;
+    };
+
+    /** Run the calibration measurements for @p cfg. */
+    static Compensator calibrate(const harness::HarnessConfig &cfg,
+                                 const Options &opt);
+
+    /** Calibrate with default options. */
+    static Compensator calibrate(const harness::HarnessConfig &cfg);
+
+    /** Median null-benchmark error (instructions). */
+    double fixedOverhead() const { return fixed; }
+
+    /** Extra measured instructions per true benchmark instruction. */
+    double slopePerInstruction() const { return slope; }
+
+    /** Corrected estimate of the true count behind @p delta. */
+    double compensate(SCount delta) const;
+
+    /** Convenience: correct a Measurement's c-delta. */
+    double
+    compensate(const harness::Measurement &m) const
+    {
+        return compensate(m.delta());
+    }
+
+  private:
+    Compensator(double fixed, double slope)
+        : fixed(fixed), slope(slope)
+    {
+    }
+
+    double fixed = 0;
+    double slope = 0;
+};
+
+} // namespace pca::core
+
+#endif // PCA_CORE_COMPENSATE_HH

@@ -1,0 +1,143 @@
+#include "core/datatable.hh"
+
+#include <map>
+
+#include "support/logging.hh"
+#include "support/strutil.hh"
+#include "support/table.hh"
+
+namespace pca::core
+{
+
+DataTable::DataTable(std::vector<std::string> key_columns,
+                     std::string value_name)
+    : keyCols(std::move(key_columns)), valueName(std::move(value_name))
+{
+    pca_assert(!keyCols.empty());
+}
+
+void
+DataTable::add(std::vector<std::string> keys, double value)
+{
+    if (keys.size() != keyCols.size())
+        pca_panic("row has ", keys.size(), " keys, table has ",
+                  keyCols.size(), " columns");
+    rowStore.push_back({std::move(keys), value});
+}
+
+void
+DataTable::append(const DataTable &other)
+{
+    pca_assert(other.keyCols == keyCols);
+    rowStore.insert(rowStore.end(), other.rowStore.begin(),
+                    other.rowStore.end());
+}
+
+std::size_t
+DataTable::columnIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < keyCols.size(); ++i)
+        if (keyCols[i] == name)
+            return i;
+    pca_panic("no column named '", name, "'");
+}
+
+DataTable
+DataTable::filtered(const std::string &column,
+                    const std::string &value) const
+{
+    const std::size_t idx = columnIndex(column);
+    DataTable out(keyCols, valueName);
+    for (const auto &row : rowStore)
+        if (row.keys[idx] == value)
+            out.rowStore.push_back(row);
+    return out;
+}
+
+std::vector<double>
+DataTable::values() const
+{
+    std::vector<double> out;
+    out.reserve(rowStore.size());
+    for (const auto &row : rowStore)
+        out.push_back(row.value);
+    return out;
+}
+
+std::vector<DataGroup>
+DataTable::groupBy(const std::vector<std::string> &columns) const
+{
+    std::vector<std::size_t> idx;
+    idx.reserve(columns.size());
+    for (const auto &c : columns)
+        idx.push_back(columnIndex(c));
+
+    std::vector<DataGroup> groups;
+    std::map<std::vector<std::string>, std::size_t> seen;
+    for (const auto &row : rowStore) {
+        std::vector<std::string> key;
+        key.reserve(idx.size());
+        for (std::size_t i : idx)
+            key.push_back(row.keys[i]);
+        auto it = seen.find(key);
+        if (it == seen.end()) {
+            seen.emplace(key, groups.size());
+            groups.push_back({key, {row.value}});
+        } else {
+            groups[it->second].values.push_back(row.value);
+        }
+    }
+    return groups;
+}
+
+std::vector<stats::Observation>
+DataTable::toObservations(const std::vector<std::string> &factors) const
+{
+    std::vector<std::size_t> idx;
+    for (const auto &f : factors)
+        idx.push_back(columnIndex(f));
+
+    std::vector<stats::Observation> out;
+    out.reserve(rowStore.size());
+    for (const auto &row : rowStore) {
+        stats::Observation obs;
+        obs.response = row.value;
+        for (std::size_t i : idx)
+            obs.levels.push_back(row.keys[i]);
+        out.push_back(std::move(obs));
+    }
+    return out;
+}
+
+void
+DataTable::printSummary(std::ostream &os,
+                        const std::vector<std::string> &columns) const
+{
+    std::vector<std::string> headers = columns;
+    for (const char *h : {"n", "min", "q1", "median", "q3", "max"})
+        headers.emplace_back(h);
+    TextTable t(headers);
+    for (const auto &group : groupBy(columns)) {
+        const stats::Summary s = stats::summarize(group.values);
+        std::vector<std::string> cells = group.keys;
+        cells.push_back(std::to_string(s.n));
+        cells.push_back(fmtDouble(s.min, 1));
+        cells.push_back(fmtDouble(s.q1, 1));
+        cells.push_back(fmtDouble(s.median, 1));
+        cells.push_back(fmtDouble(s.q3, 1));
+        cells.push_back(fmtDouble(s.max, 1));
+        t.addRow(std::move(cells));
+    }
+    t.print(os);
+}
+
+void
+DataTable::writeCsv(std::ostream &os) const
+{
+    os << join(keyCols, ",") << ',' << valueName << '\n';
+    for (const auto &row : rowStore)
+        os << join(row.keys, ",") << ',' << fmtDouble(row.value, 6)
+           << '\n';
+}
+
+} // namespace pca::core

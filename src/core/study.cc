@@ -1,0 +1,154 @@
+#include "core/study.hh"
+
+#include "harness/microbench.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace pca::core
+{
+
+using harness::HarnessConfig;
+using harness::Interface;
+using harness::LoopBench;
+using harness::MeasurementHarness;
+using harness::NullBench;
+
+DataTable
+runNullErrorStudy(const std::vector<FactorPoint> &points,
+                  int runs_per_point, std::uint64_t seed)
+{
+    pca_assert(runs_per_point >= 1);
+    DataTable table({"processor", "interface", "pattern", "mode",
+                     "opt", "nctrs", "tsc", "run"},
+                    "error");
+    const NullBench bench;
+    std::uint64_t point_id = 0;
+    for (const FactorPoint &p : points) {
+        ++point_id;
+        for (int r = 0; r < runs_per_point; ++r) {
+            HarnessConfig cfg = p.toHarnessConfig(
+                mixSeed(seed, point_id * 1000 +
+                                  static_cast<std::uint64_t>(r)));
+            const auto m = MeasurementHarness(cfg).measure(bench);
+            table.add(
+                {cpu::processorCode(p.processor),
+                 harness::interfaceCode(p.iface),
+                 harness::patternName(p.pattern),
+                 harness::countingModeName(p.mode),
+                 "O" + std::to_string(p.optLevel),
+                 std::to_string(p.numCounters),
+                 p.tsc ? "on" : "off", std::to_string(r)},
+                static_cast<double>(m.error()));
+        }
+    }
+    return table;
+}
+
+DataTable
+runDurationStudy(const DurationStudyOptions &opt)
+{
+    DataTable table({"processor", "interface", "loopsize", "run"},
+                    "error");
+    std::uint64_t point_id = 0;
+    for (cpu::Processor proc : opt.processors) {
+        for (Interface iface : opt.interfaces) {
+            if (!harness::patternSupported(iface, opt.pattern))
+                continue;
+            for (Count size : opt.loopSizes) {
+                const LoopBench bench(size);
+                for (int r = 0; r < opt.runsPerSize; ++r) {
+                    ++point_id;
+                    HarnessConfig cfg;
+                    cfg.processor = proc;
+                    cfg.iface = iface;
+                    cfg.pattern = opt.pattern;
+                    cfg.mode = opt.mode;
+                    cfg.seed = mixSeed(opt.seed, point_id);
+                    const auto m =
+                        MeasurementHarness(cfg).measure(bench);
+                    table.add({cpu::processorCode(proc),
+                               harness::interfaceCode(iface),
+                               std::to_string(size),
+                               std::to_string(r)},
+                              static_cast<double>(m.error()));
+                }
+            }
+        }
+    }
+    return table;
+}
+
+std::vector<SlopeRow>
+errorSlopes(const DataTable &duration_data)
+{
+    std::vector<SlopeRow> out;
+    for (const auto &group :
+         duration_data.groupBy({"processor", "interface"})) {
+        // Rebuild (size, error) pairs for this group.
+        std::vector<double> xs, ys;
+        const auto proc_idx = duration_data.columnIndex("processor");
+        const auto if_idx = duration_data.columnIndex("interface");
+        const auto size_idx = duration_data.columnIndex("loopsize");
+        for (const auto &row : duration_data.rows()) {
+            if (row.keys[proc_idx] != group.keys[0] ||
+                row.keys[if_idx] != group.keys[1])
+                continue;
+            xs.push_back(std::stod(row.keys[size_idx]));
+            ys.push_back(row.value);
+        }
+        if (xs.size() < 2)
+            continue;
+        out.push_back(
+            {group.keys[0], group.keys[1], stats::linearFit(xs, ys)});
+    }
+    return out;
+}
+
+DataTable
+runCycleStudy(const CycleStudyOptions &opt)
+{
+    DataTable table(
+        {"processor", "interface", "pattern", "opt", "loopsize",
+         "run"},
+        "cycles");
+    std::uint64_t point_id = 0;
+    for (cpu::Processor proc : opt.processors) {
+        for (Interface iface : opt.interfaces) {
+            for (harness::AccessPattern pat : opt.patterns) {
+                if (!harness::patternSupported(iface, pat))
+                    continue;
+                for (int opt_level : opt.optLevels) {
+                    for (Count size : opt.loopSizes) {
+                        const LoopBench bench(size);
+                        for (int r = 0; r < opt.runsPerConfig; ++r) {
+                            ++point_id;
+                            HarnessConfig cfg;
+                            cfg.processor = proc;
+                            cfg.iface = iface;
+                            cfg.pattern = pat;
+                            cfg.optLevel = opt_level;
+                            cfg.mode =
+                                harness::CountingMode::UserKernel;
+                            cfg.primaryEvent =
+                                cpu::EventType::CpuClkUnhalted;
+                            cfg.seed = mixSeed(opt.seed, point_id);
+                            const auto m = MeasurementHarness(cfg)
+                                               .measure(bench);
+                            table.add(
+                                {cpu::processorCode(proc),
+                                 harness::interfaceCode(iface),
+                                 harness::patternName(pat),
+                                 "O" + std::to_string(opt_level),
+                                 std::to_string(size),
+                                 std::to_string(r)},
+                                static_cast<double>(m.delta()));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    return table;
+}
+
+} // namespace pca::core

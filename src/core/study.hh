@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Canned studies reproducing the paper's experiments: the
+ * null-benchmark error study (§4), the duration study (§5), and the
+ * cycle-count study (§6). Each returns a tidy DataTable whose
+ * columns match the figure's factors.
+ */
+
+#ifndef PCA_CORE_STUDY_HH
+#define PCA_CORE_STUDY_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "core/datatable.hh"
+#include "core/factor_space.hh"
+#include "stats/regression.hh"
+
+namespace pca::core
+{
+
+/**
+ * Measure the null benchmark at every factor point, several runs
+ * each. Columns: processor, interface, pattern, mode, opt, nctrs,
+ * tsc, run. Value: measurement error in instructions.
+ */
+DataTable runNullErrorStudy(const std::vector<FactorPoint> &points,
+                            int runs_per_point,
+                            std::uint64_t seed = 42);
+
+/** Options for the loop-duration study (§5). */
+struct DurationStudyOptions
+{
+    std::vector<cpu::Processor> processors = cpu::allProcessors();
+    std::vector<harness::Interface> interfaces =
+        harness::allInterfaces();
+    std::vector<Count> loopSizes = {1,      25000,  50000,  75000,
+                                    100000, 250000, 500000, 750000,
+                                    1000000};
+    harness::CountingMode mode = harness::CountingMode::UserKernel;
+    harness::AccessPattern pattern = harness::AccessPattern::StartRead;
+    int runsPerSize = 5;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Measure the loop benchmark across sizes. Columns: processor,
+ * interface, loopsize, run. Value: instruction-count error
+ * (measured - (1 + 3·size)).
+ */
+DataTable runDurationStudy(const DurationStudyOptions &opt);
+
+/**
+ * Per-(processor, interface) regression of error against loop size:
+ * the slopes of Figures 7 and 8. Columns of the input must match
+ * runDurationStudy's output.
+ */
+struct SlopeRow
+{
+    std::string processor;
+    std::string iface;
+    stats::LinearFit fit;
+};
+std::vector<SlopeRow> errorSlopes(const DataTable &duration_data);
+
+/** Options for the cycle-count study (§6). */
+struct CycleStudyOptions
+{
+    std::vector<cpu::Processor> processors = cpu::allProcessors();
+    std::vector<harness::Interface> interfaces = {
+        harness::Interface::Pm, harness::Interface::Pc};
+    std::vector<Count> loopSizes = {1,      100000, 200000, 400000,
+                                    600000, 800000, 1000000};
+    std::vector<harness::AccessPattern> patterns =
+        harness::allPatterns();
+    std::vector<int> optLevels = {0, 1, 2, 3};
+    int runsPerConfig = 2;
+    std::uint64_t seed = 42;
+};
+
+/**
+ * Measure user+kernel *cycles* of the loop benchmark. Columns:
+ * processor, interface, pattern, opt, loopsize, run. Value: measured
+ * cycle count c∆.
+ */
+DataTable runCycleStudy(const CycleStudyOptions &opt);
+
+} // namespace pca::core
+
+#endif // PCA_CORE_STUDY_HH

@@ -1,0 +1,94 @@
+#include "cpu/cache.hh"
+
+#include "support/logging.hh"
+
+namespace pca::cpu
+{
+
+namespace
+{
+
+int
+log2Exact(int v)
+{
+    pca_assert(v > 0 && (v & (v - 1)) == 0);
+    int s = 0;
+    while ((1 << s) < v)
+        ++s;
+    return s;
+}
+
+} // namespace
+
+CacheModel::CacheModel(int sets, int ways, int line_bytes)
+    : numSets(sets), numWays(ways), lineSize(line_bytes),
+      lineShift(log2Exact(line_bytes)),
+      waysStore(static_cast<std::size_t>(sets) * ways)
+{
+    pca_assert(sets > 0 && (sets & (sets - 1)) == 0);
+    pca_assert(ways > 0);
+}
+
+std::size_t
+CacheModel::setIndex(Addr addr) const
+{
+    return static_cast<std::size_t>(
+        (addr >> lineShift) & static_cast<Addr>(numSets - 1));
+}
+
+Addr
+CacheModel::tagOf(Addr addr) const
+{
+    return addr >> lineShift;
+}
+
+bool
+CacheModel::access(Addr addr)
+{
+    const std::size_t base = setIndex(addr) * numWays;
+    const Addr tag = tagOf(addr);
+    ++useClock;
+
+    std::size_t victim = base;
+    std::uint64_t oldest = UINT64_MAX;
+    for (std::size_t w = base; w < base + numWays; ++w) {
+        Way &way = waysStore[w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = useClock;
+            ++hitCount;
+            return true;
+        }
+        const std::uint64_t age = way.valid ? way.lastUse : 0;
+        if (age < oldest) {
+            oldest = age;
+            victim = w;
+        }
+    }
+    Way &way = waysStore[victim];
+    way.tag = tag;
+    way.valid = true;
+    way.lastUse = useClock;
+    ++missCount;
+    return false;
+}
+
+bool
+CacheModel::contains(Addr addr) const
+{
+    const std::size_t base = setIndex(addr) * numWays;
+    const Addr tag = tagOf(addr);
+    for (std::size_t w = base; w < base + numWays; ++w)
+        if (waysStore[w].valid && waysStore[w].tag == tag)
+            return true;
+    return false;
+}
+
+void
+CacheModel::flush()
+{
+    for (auto &way : waysStore)
+        way.valid = false;
+    useClock = 0;
+}
+
+} // namespace pca::cpu

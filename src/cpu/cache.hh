@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement, used for the
+ * instruction cache and (with page-sized "lines") the instruction
+ * TLB. These structures make cycle counts sensitive to code
+ * placement, the effect Section 6 of the paper demonstrates.
+ */
+
+#ifndef PCA_CPU_CACHE_HH
+#define PCA_CPU_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace pca::cpu
+{
+
+/** Generic set-associative lookup structure (tags only). */
+class CacheModel
+{
+  public:
+    /**
+     * @param sets number of sets (power of two)
+     * @param ways associativity
+     * @param line_bytes line (or page) size in bytes, power of two
+     */
+    CacheModel(int sets, int ways, int line_bytes);
+
+    /**
+     * Look up the line containing @p addr, filling it on a miss.
+     * @return true on hit
+     */
+    bool access(Addr addr);
+
+    /** Probe without side effects. */
+    bool contains(Addr addr) const;
+
+    /** Invalidate everything (cold start). */
+    void flush();
+
+    int sets() const { return numSets; }
+    int ways() const { return numWays; }
+    int lineBytes() const { return lineSize; }
+
+    std::uint64_t hits() const { return hitCount; }
+    std::uint64_t misses() const { return missCount; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        bool valid = false;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    Addr tagOf(Addr addr) const;
+
+    int numSets;
+    int numWays;
+    int lineSize;
+    int lineShift;
+    std::vector<Way> waysStore; // numSets * numWays
+    std::uint64_t useClock = 0;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+};
+
+} // namespace pca::cpu
+
+#endif // PCA_CPU_CACHE_HH

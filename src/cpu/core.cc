@@ -1,0 +1,648 @@
+#include "cpu/core.hh"
+
+#include "support/logging.hh"
+
+namespace pca::cpu
+{
+
+using isa::CodePtr;
+using isa::Inst;
+using isa::Opcode;
+using isa::Reg;
+
+Core::Core(const MicroArch &arch)
+    : archRef(arch),
+      pmuUnit(arch),
+      frontEnd(arch),
+      predictor(arch.btbSets, arch.btbWays),
+      icache(arch.icacheSets, arch.icacheWays, arch.icacheLineBytes),
+      itlb(std::max(1, arch.itlbEntries / arch.itlbWays),
+           arch.itlbWays, 4096),
+      dcache(arch.dcacheSets, arch.dcacheWays, arch.dcacheLineBytes),
+      l2(arch.l2Sets, arch.l2Ways, arch.l2LineBytes),
+      dtlb(std::max(1, arch.dtlbEntries / arch.dtlbWays),
+           arch.dtlbWays, 4096)
+{
+    reset();
+}
+
+void
+Core::setProgram(const isa::Program *prog)
+{
+    pca_assert(prog && prog->linked());
+    program = prog;
+}
+
+std::uint64_t &
+Core::reg(Reg r)
+{
+    return regs[static_cast<std::size_t>(r)];
+}
+
+std::uint64_t
+Core::getReg(Reg r) const
+{
+    return regs[static_cast<std::size_t>(r)];
+}
+
+void
+Core::setReg(Reg r, std::uint64_t v)
+{
+    regs[static_cast<std::size_t>(r)] = v;
+}
+
+void
+Core::jumpTo(const std::string &symbol)
+{
+    pca_assert(program);
+    pc = program->entry(symbol);
+    pcRedirected = true;
+    frontEnd.redirect(program->inst(pc).addr);
+}
+
+Count
+Core::rawEvents(EventType ev, Mode m) const
+{
+    return rawEv[static_cast<std::size_t>(ev)]
+                [static_cast<std::size_t>(m)];
+}
+
+Cycles
+Core::modeCycles(Mode m) const
+{
+    return cyclesPerMode[static_cast<std::size_t>(m)];
+}
+
+void
+Core::chargeCycles(Cycles c)
+{
+    if (c == 0)
+        return;
+    cycleCount += c;
+    cyclesPerMode[static_cast<std::size_t>(curMode)] += c;
+    pmuUnit.addCycles(c, curMode);
+}
+
+void
+Core::countEvent(EventType ev, Count n)
+{
+    rawEv[static_cast<std::size_t>(ev)]
+         [static_cast<std::size_t>(curMode)] += n;
+    pmuUnit.count(ev, curMode, n);
+}
+
+void
+Core::dataAccess(Addr addr)
+{
+    countEvent(EventType::DcacheAccess);
+    if (!dtlb.access(addr)) {
+        chargeCycles(static_cast<Cycles>(archRef.dtlbMissPenalty));
+        countEvent(EventType::DtlbMiss);
+    }
+    if (!dcache.access(addr)) {
+        chargeCycles(static_cast<Cycles>(archRef.dcacheMissPenalty));
+        countEvent(EventType::DcacheMiss);
+        // Fill from the unified L2; an L2 miss goes to memory.
+        if (!l2.access(addr)) {
+            chargeCycles(static_cast<Cycles>(archRef.l2MissPenalty));
+            countEvent(EventType::L2Miss);
+        }
+    }
+}
+
+void
+Core::fetchCosts(const Inst &in)
+{
+    if (!icache.access(in.addr)) {
+        chargeCycles(static_cast<Cycles>(archRef.icacheMissPenalty));
+        countEvent(EventType::IcacheMiss);
+        // Instruction fills also come through the unified L2.
+        if (!l2.access(in.addr)) {
+            chargeCycles(static_cast<Cycles>(archRef.l2MissPenalty));
+            countEvent(EventType::L2Miss);
+        }
+    }
+    if (!itlb.access(in.addr)) {
+        chargeCycles(static_cast<Cycles>(archRef.itlbMissPenalty));
+        countEvent(EventType::ItlbMiss);
+    }
+    chargeCycles(frontEnd.onInst(in.addr, in.size));
+}
+
+void
+Core::doTakenBranch(const Inst &in, CodePtr target)
+{
+    const Addr tgt_addr = program->inst(target).addr;
+    chargeCycles(frontEnd.onTakenBranch(
+        in.addr, in.addr + static_cast<Addr>(in.size), tgt_addr));
+    pc = target;
+    pcRedirected = true;
+}
+
+RunResult
+Core::run(CodePtr entry, Count max_instr)
+{
+    pca_assert(program);
+    pc = entry;
+    halted = false;
+    Count steps = 0;
+
+    while (!halted) {
+        if (curMode == Mode::User && pmuUnit.overflowPending()) {
+            // Counter overflow: deliver the PMI before anything else.
+            pmiCounter = pmuUnit.takeOverflow();
+            deliverInterrupt(pmiVector);
+        } else if (curMode == Mode::User && intClient &&
+                   cycleCount >= intClient->nextInterruptCycle()) {
+            const int vec = intClient->pollInterrupt(cycleCount);
+            if (vec >= 0)
+                deliverInterrupt(vec);
+        }
+        step();
+        if (++steps > max_instr)
+            pca_panic("runaway program: executed ", steps,
+                      " steps without halting");
+    }
+
+    RunResult res;
+    res.userInstr = instrPerMode[static_cast<std::size_t>(Mode::User)];
+    res.kernelInstr =
+        instrPerMode[static_cast<std::size_t>(Mode::Kernel)];
+    res.cycles = cycleCount;
+    res.interrupts = interruptCount;
+    res.fastForwardedIters = ffIters;
+    return res;
+}
+
+void
+Core::step()
+{
+    const Inst &in = program->inst(pc);
+
+    if (in.op == Opcode::HostOp) {
+        // Architecturally free data plumbing.
+        pcRedirected = false;
+        pca_assert(in.host);
+        in.host(*this);
+        if (!pcRedirected)
+            ++pc.index;
+        poisonSinceBackward = true;
+        return;
+    }
+
+    const Mode mode_at_fetch = curMode;
+    const int prev_index = pc.index;
+    fetchCosts(in);
+
+    pcRedirected = false;
+    bool taken_backward = false;
+    execute(in);
+
+    // Retire.
+    instrPerMode[static_cast<std::size_t>(mode_at_fetch)] += 1;
+    rawEv[static_cast<std::size_t>(EventType::InstrRetired)]
+         [static_cast<std::size_t>(mode_at_fetch)] += 1;
+    pmuUnit.count(EventType::InstrRetired, mode_at_fetch, 1);
+
+    if (!pcRedirected)
+        ++pc.index;
+    else if (isCondBranch(in.op) && in.targetIndex >= 0 &&
+             in.targetIndex < prev_index)
+        taken_backward = true;
+
+    // Fast-forward bookkeeping.
+    switch (in.op) {
+      case Opcode::MovImm:
+      case Opcode::MovReg:
+      case Opcode::AddImm:
+      case Opcode::AddReg:
+      case Opcode::SubImm:
+      case Opcode::SubReg:
+      case Opcode::CmpImm:
+      case Opcode::CmpReg:
+      case Opcode::TestReg:
+      case Opcode::XorReg:
+      case Opcode::AndImm:
+      case Opcode::OrReg:
+      case Opcode::ShlImm:
+      case Opcode::ShrImm:
+      case Opcode::Nop:
+      case Opcode::Jmp:
+      case Opcode::Je:
+      case Opcode::Jne:
+      case Opcode::Jl:
+      case Opcode::Jge:
+        break; // safe for steady-loop extrapolation
+      default:
+        poisonSinceBackward = true;
+        break;
+    }
+    if (curMode != Mode::User)
+        poisonSinceBackward = true;
+
+    if (taken_backward && ffEnabled && curMode == Mode::User) {
+        // The branch instruction itself has fully retired; the loop
+        // head is the current pc.
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(pc.block) << 32) |
+            static_cast<std::uint64_t>(prev_index);
+        maybeFastForwardKeyed(key, in, prev_index);
+    }
+}
+
+void
+Core::execute(const Inst &in)
+{
+    auto cond_branch = [&](bool taken) {
+        const bool mispred = predictor.predictAndTrain(in.addr, taken);
+        countEvent(EventType::BrInstRetired);
+        if (mispred) {
+            chargeCycles(
+                static_cast<Cycles>(archRef.mispredictPenalty));
+            countEvent(EventType::BrMispRetired);
+        }
+        if (taken)
+            doTakenBranch(in, CodePtr{pc.block, in.targetIndex});
+    };
+
+    switch (in.op) {
+      case Opcode::MovImm:
+        reg(in.r1) = static_cast<std::uint64_t>(in.imm);
+        break;
+      case Opcode::MovReg:
+        reg(in.r1) = reg(in.r2);
+        break;
+      case Opcode::AddImm:
+        reg(in.r1) += static_cast<std::uint64_t>(in.imm);
+        break;
+      case Opcode::AddReg:
+        reg(in.r1) += reg(in.r2);
+        break;
+      case Opcode::SubImm:
+        reg(in.r1) -= static_cast<std::uint64_t>(in.imm);
+        break;
+      case Opcode::SubReg:
+        reg(in.r1) -= reg(in.r2);
+        break;
+      case Opcode::CmpImm:
+        zeroFlag = reg(in.r1) == static_cast<std::uint64_t>(in.imm);
+        lessFlag = static_cast<std::int64_t>(reg(in.r1)) < in.imm;
+        break;
+      case Opcode::CmpReg:
+        zeroFlag = reg(in.r1) == reg(in.r2);
+        lessFlag = static_cast<std::int64_t>(reg(in.r1)) <
+            static_cast<std::int64_t>(reg(in.r2));
+        break;
+      case Opcode::TestReg:
+        zeroFlag = (reg(in.r1) & reg(in.r2)) == 0;
+        lessFlag = false;
+        break;
+      case Opcode::XorReg:
+        reg(in.r1) ^= reg(in.r2);
+        break;
+      case Opcode::AndImm:
+        reg(in.r1) &= static_cast<std::uint64_t>(in.imm);
+        break;
+      case Opcode::OrReg:
+        reg(in.r1) |= reg(in.r2);
+        break;
+      case Opcode::ShlImm:
+        reg(in.r1) <<= in.imm;
+        break;
+      case Opcode::ShrImm:
+        reg(in.r1) >>= in.imm;
+        break;
+
+      case Opcode::Load:
+      {
+        const Addr a = reg(in.r2) + static_cast<Addr>(in.imm);
+        auto it = memory.find(a);
+        reg(in.r1) = it == memory.end() ? 0 : it->second;
+        dataAccess(a);
+        break;
+      }
+      case Opcode::Store:
+      {
+        const Addr a = reg(in.r2) + static_cast<Addr>(in.imm);
+        memory[a] = reg(in.r1);
+        dataAccess(a);
+        break;
+      }
+      case Opcode::Push:
+        reg(Reg::Esp) -= 8;
+        memory[reg(Reg::Esp)] = reg(in.r1);
+        dataAccess(reg(Reg::Esp));
+        break;
+      case Opcode::Pop:
+        reg(in.r1) = memory[reg(Reg::Esp)];
+        dataAccess(reg(Reg::Esp));
+        reg(Reg::Esp) += 8;
+        break;
+
+      case Opcode::Jmp:
+        predictor.noteUncond(in.addr);
+        countEvent(EventType::BrInstRetired);
+        doTakenBranch(in, CodePtr{pc.block, in.targetIndex});
+        break;
+      case Opcode::Je:
+        cond_branch(zeroFlag);
+        break;
+      case Opcode::Jne:
+        cond_branch(!zeroFlag);
+        break;
+      case Opcode::Jl:
+        cond_branch(lessFlag);
+        break;
+      case Opcode::Jge:
+        cond_branch(!lessFlag);
+        break;
+
+      case Opcode::Call:
+      {
+        predictor.noteUncond(in.addr);
+        countEvent(EventType::BrInstRetired);
+        callStack.push_back(CodePtr{pc.block, pc.index + 1});
+        pc = program->entry(in.callee);
+        pcRedirected = true;
+        frontEnd.redirect(program->inst(pc).addr);
+        break;
+      }
+      case Opcode::Ret:
+      {
+        if (callStack.empty())
+            pca_panic("ret with empty call stack in block ",
+                      program->block(pc.block).name());
+        countEvent(EventType::BrInstRetired);
+        pc = callStack.back();
+        callStack.pop_back();
+        pcRedirected = true;
+        frontEnd.redirect(program->inst(pc).addr);
+        break;
+      }
+
+      case Opcode::Rdtsc:
+        if (curMode == Mode::User && !userRdtscOk)
+            pca_panic("#GP: rdtsc in user mode with CR4.TSD set");
+        reg(Reg::Eax) = pmuUnit.rdtsc();
+        chargeCycles(static_cast<Cycles>(archRef.rdtscCycles));
+        break;
+      case Opcode::Rdpmc:
+        if (curMode == Mode::User && !userRdpmcOk)
+            pca_panic("#GP: rdpmc in user mode with CR4.PCE clear");
+        reg(Reg::Eax) = pmuUnit.rdpmc(reg(Reg::Ecx));
+        chargeCycles(static_cast<Cycles>(archRef.rdpmcCycles));
+        break;
+      case Opcode::Rdmsr:
+        if (curMode != Mode::Kernel)
+            pca_panic("#GP: rdmsr in user mode");
+        reg(Reg::Eax) = pmuUnit.rdmsr(
+            static_cast<std::uint32_t>(reg(Reg::Ecx)));
+        chargeCycles(static_cast<Cycles>(archRef.rdmsrCycles));
+        break;
+      case Opcode::Wrmsr:
+        if (curMode != Mode::Kernel)
+            pca_panic("#GP: wrmsr in user mode");
+        pmuUnit.wrmsr(static_cast<std::uint32_t>(reg(Reg::Ecx)),
+                      reg(Reg::Eax));
+        chargeCycles(static_cast<Cycles>(archRef.wrmsrCycles));
+        break;
+
+      case Opcode::Syscall:
+        if (!syscallEntry.valid())
+            pca_panic("syscall with no kernel attached");
+        trapStack.push_back({CodePtr{pc.block, pc.index + 1},
+                             curMode, false, zeroFlag, lessFlag});
+        curMode = Mode::Kernel;
+        chargeCycles(static_cast<Cycles>(archRef.syscallEntryCycles));
+        pc = syscallEntry;
+        pcRedirected = true;
+        frontEnd.redirect(program->inst(pc).addr);
+        break;
+      case Opcode::Iret:
+      {
+        if (trapStack.empty())
+            pca_panic("iret with empty trap stack");
+        chargeCycles(static_cast<Cycles>(archRef.syscallExitCycles));
+        const SavedContext saved = trapStack.back();
+        trapStack.pop_back();
+        if (saved.fromInterrupt)
+            activeVector = -1;
+        curMode = saved.mode;
+        zeroFlag = saved.zeroFlag;
+        lessFlag = saved.lessFlag;
+        pc = saved.pc;
+        pcRedirected = true;
+        frontEnd.redirect(program->inst(pc).addr);
+        break;
+      }
+
+      case Opcode::Nop:
+        break;
+      case Opcode::Cpuid:
+        chargeCycles(static_cast<Cycles>(archRef.cpuidCycles));
+        break;
+      case Opcode::Halt:
+        halted = true;
+        break;
+
+      case Opcode::HostOp:
+        pca_panic("HostOp reached execute()");
+      default:
+        pca_panic("unimplemented opcode ",
+                  isa::opcodeName(in.op));
+    }
+}
+
+void
+Core::deliverInterrupt(int vector)
+{
+    interruptedAddr = program->inst(pc).addr;
+    trapStack.push_back({pc, curMode, true, zeroFlag, lessFlag});
+    curMode = Mode::Kernel;
+    activeVector = vector;
+    ++interruptCount;
+    countEvent(EventType::HwInterrupt);
+    chargeCycles(static_cast<Cycles>(archRef.interruptEntryCycles));
+    pca_assert(interruptEntry.valid());
+    pc = interruptEntry;
+    frontEnd.redirect(program->inst(pc).addr);
+    poisonSinceBackward = true;
+}
+
+void
+Core::maybeFastForwardKeyed(std::uint64_t key, const Inst &branch,
+                            int branch_index)
+{
+    LoopFf &lf = loops[key];
+    if (lf.unsafe)
+        return;
+    // Bulk-applying counts would skip overflow thresholds: sampling
+    // sessions force pure interpretation.
+    if (pmuUnit.samplingActive())
+        return;
+    if (poisonSinceBackward) {
+        lf.phase = 0;
+        poisonSinceBackward = false;
+        return;
+    }
+    poisonSinceBackward = false;
+
+    const auto user = static_cast<std::size_t>(Mode::User);
+    auto snapshot = [&](LoopFf &dst) {
+        dst.headRegs = regs;
+        dst.headInstr = instrPerMode[user];
+        dst.headCycles = cycleCount;
+        for (std::size_t e = 0; e < numEvents; ++e)
+            dst.headEvents[e] = rawEv[e][user];
+    };
+
+    if (lf.phase == 0) {
+        snapshot(lf);
+        lf.phase = 1;
+        return;
+    }
+
+    // Compute this iteration's deltas.
+    Count d_instr = instrPerMode[user] - lf.headInstr;
+    Cycles d_cycles = cycleCount - lf.headCycles;
+    std::array<Count, numEvents> d_events{};
+    for (std::size_t e = 0; e < numEvents; ++e)
+        d_events[e] = rawEv[e][user] - lf.headEvents[e];
+
+    int changed = -1;
+    std::int64_t step_val = 0;
+    for (std::size_t r = 0; r < isa::numRegs; ++r) {
+        if (regs[r] != lf.headRegs[r]) {
+            if (changed >= 0) {
+                lf.unsafe = true; // more than one register changes
+                return;
+            }
+            changed = static_cast<int>(r);
+            step_val = static_cast<std::int64_t>(
+                regs[r] - lf.headRegs[r]);
+        }
+    }
+    if (changed < 0 || step_val == 0) {
+        lf.unsafe = true; // no induction variable: diverging loop?
+        return;
+    }
+
+    const bool stable = lf.phase == 2 && d_instr == lf.dInstr &&
+        d_cycles == lf.dCycles && d_events == lf.dEvents &&
+        changed == lf.changedReg && step_val == lf.step;
+
+    lf.dInstr = d_instr;
+    lf.dCycles = d_cycles;
+    lf.dEvents = d_events;
+    lf.changedReg = changed;
+    lf.step = step_val;
+    snapshot(lf);
+    if (lf.phase == 1) {
+        lf.phase = 2;
+        return;
+    }
+    if (!stable)
+        return; // still warming up; keep observing
+
+    // Steady state confirmed: extrapolate. The loop idiom must be
+    //   cmp_imm R, T ; jne/jl back
+    if (branch_index < 1)
+        return;
+    const Inst &cmp = program->inst(CodePtr{pc.block, branch_index - 1});
+    if (cmp.op != Opcode::CmpImm ||
+        cmp.r1 != static_cast<Reg>(changed)) {
+        lf.unsafe = true;
+        return;
+    }
+    const std::int64_t target = cmp.imm;
+    const auto cur =
+        static_cast<std::int64_t>(regs[static_cast<std::size_t>(changed)]);
+
+    std::int64_t n; // iterations remaining until the branch falls through
+    if (branch.op == Opcode::Jne) {
+        const std::int64_t dist = target - cur;
+        if (step_val == 0 || dist % step_val != 0 ||
+            dist / step_val <= 0) {
+            lf.unsafe = true;
+            return;
+        }
+        n = dist / step_val;
+    } else if (branch.op == Opcode::Jl && step_val > 0) {
+        const std::int64_t dist = target - cur;
+        if (dist <= 0)
+            return;
+        n = (dist + step_val - 1) / step_val;
+    } else {
+        lf.unsafe = true;
+        return;
+    }
+
+    std::int64_t k = n - 1; // leave the final iteration interpreted
+    if (k <= 0)
+        return;
+
+    if (intClient && d_cycles > 0) {
+        const Cycles next = intClient->nextInterruptCycle();
+        if (next <= cycleCount)
+            return; // interrupt due: interpret towards it
+        const auto k_int = static_cast<std::int64_t>(
+            (next - cycleCount) / d_cycles);
+        k = std::min(k, k_int);
+        if (k <= 0)
+            return;
+    }
+
+    // Bulk-apply k iterations.
+    regs[static_cast<std::size_t>(changed)] +=
+        static_cast<std::uint64_t>(step_val * k);
+    const auto ku = static_cast<Count>(k);
+    instrPerMode[user] += d_instr * ku;
+    cycleCount += d_cycles * ku;
+    cyclesPerMode[user] += d_cycles * ku;
+    pmuUnit.addCycles(d_cycles * ku, Mode::User);
+    for (std::size_t e = 0; e < numEvents; ++e) {
+        if (d_events[e] == 0 ||
+            e == static_cast<std::size_t>(EventType::CpuClkUnhalted))
+            continue;
+        rawEv[e][user] += d_events[e] * ku;
+        pmuUnit.count(static_cast<EventType>(e), Mode::User,
+                      d_events[e] * ku);
+    }
+    ffIters += ku;
+    snapshot(lf); // head reflects post-bulk state
+}
+
+void
+Core::reset()
+{
+    pmuUnit.reset();
+    frontEnd.reset();
+    predictor.reset();
+    icache.flush();
+    itlb.flush();
+    dcache.flush();
+    l2.flush();
+    dtlb.flush();
+    regs.fill(0);
+    reg(Reg::Esp) = 0xbfff0000ULL;
+    zeroFlag = false;
+    lessFlag = false;
+    curMode = Mode::User;
+    callStack.clear();
+    trapStack.clear();
+    memory.clear();
+    cycleCount = 0;
+    cyclesPerMode.fill(0);
+    instrPerMode.fill(0);
+    for (auto &per_event : rawEv)
+        per_event.fill(0);
+    interruptCount = 0;
+    ffIters = 0;
+    halted = false;
+    pcRedirected = false;
+    activeVector = -1;
+    loops.clear();
+    poisonSinceBackward = true;
+}
+
+} // namespace pca::cpu

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * The simulated processor core: an interpreter for the pca ISA that
+ * drives the PMU, front-end, caches and branch predictor, takes
+ * syscall traps and external interrupts, and fast-forwards
+ * steady-state counted loops.
+ */
+
+#ifndef PCA_CPU_CORE_HH
+#define PCA_CPU_CORE_HH
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/cache.hh"
+#include "cpu/event.hh"
+#include "cpu/frontend.hh"
+#include "cpu/microarch.hh"
+#include "cpu/pmu.hh"
+#include "cpu/predictor.hh"
+#include "isa/context.hh"
+#include "isa/program.hh"
+#include "support/types.hh"
+
+namespace pca::cpu
+{
+
+/**
+ * Interface the kernel implements to inject hardware interrupts.
+ * @see pca::kernel::InterruptController
+ */
+class InterruptClient
+{
+  public:
+    virtual ~InterruptClient() = default;
+
+    /** Cycle at which the next interrupt is due (max if none). */
+    virtual Cycles nextInterruptCycle() const = 0;
+
+    /**
+     * Called when the core is willing to take an interrupt at cycle
+     * @p now. Returns the vector to deliver, or -1 for none. The
+     * controller advances its own schedule on delivery.
+     */
+    virtual int pollInterrupt(Cycles now) = 0;
+};
+
+/** Aggregate results of one Core::run. */
+struct RunResult
+{
+    Count userInstr = 0;
+    Count kernelInstr = 0;
+    Cycles cycles = 0;
+    Count interrupts = 0;
+    Count fastForwardedIters = 0; //!< iterations applied in bulk
+};
+
+/**
+ * One simulated core.
+ *
+ * Not reusable across programs: create a fresh Core (or call reset())
+ * per measurement run, mirroring the paper's process-per-measurement
+ * methodology.
+ */
+class Core : public isa::CpuContext
+{
+  public:
+    explicit Core(const MicroArch &arch);
+
+    /** The program to execute (must stay alive during run()). */
+    void setProgram(const isa::Program *prog);
+
+    /** Kernel entry points (set by the Machine after linking). */
+    void setSyscallEntry(isa::CodePtr entry) { syscallEntry = entry; }
+    void setInterruptEntry(isa::CodePtr entry)
+    {
+        interruptEntry = entry;
+    }
+
+    /** Attach the interrupt source (may be null: no interrupts). */
+    void setInterruptClient(InterruptClient *client)
+    {
+        intClient = client;
+    }
+
+    /**
+     * Enable/disable loop fast-forwarding (default on). Disabling
+     * forces pure interpretation; architectural and PMU results are
+     * identical either way (asserted by tests, measured by the
+     * ablation bench).
+     */
+    void setFastForwardEnabled(bool on) { ffEnabled = on; }
+
+    /** CR4.PCE: whether RDPMC is legal in user mode. */
+    void allowUserRdpmc(bool allow) { userRdpmcOk = allow; }
+    /** CR4.TSD is off by default: RDTSC legal in user mode. */
+    void allowUserRdtsc(bool allow) { userRdtscOk = allow; }
+
+    /**
+     * Execute from @p entry until a Halt instruction retires.
+     *
+     * @param entry first instruction
+     * @param max_instr runaway guard; panics when exceeded
+     */
+    RunResult run(isa::CodePtr entry,
+                  Count max_instr = 500'000'000ULL);
+
+    Pmu &pmu() { return pmuUnit; }
+    const Pmu &pmu() const { return pmuUnit; }
+    const MicroArch &arch() const { return archRef; }
+
+    /** Raw occurrence totals per event and mode (ground truth). */
+    Count rawEvents(EventType ev, Mode m) const;
+
+    /** Total cycles attributed to @p m so far. */
+    Cycles modeCycles(Mode m) const;
+
+    /** Vector of the interrupt currently being serviced (-1 none). */
+    int currentVector() const { return activeVector; }
+
+    /** PMI vector number (counter overflow). */
+    static constexpr int pmiVector = 2;
+
+    /** Address of the instruction the last interrupt preempted. */
+    Addr lastInterruptedAddr() const { return interruptedAddr; }
+
+    /** Counter index of the PMI being serviced (-1 none). */
+    int overflowedCounter() const { return pmiCounter; }
+
+    /** Clear architectural and micro-architectural state. */
+    void reset();
+
+    // --- isa::CpuContext ---
+    std::uint64_t getReg(isa::Reg r) const override;
+    void setReg(isa::Reg r, std::uint64_t v) override;
+    void jumpTo(const std::string &symbol) override;
+    Mode mode() const override { return curMode; }
+    Cycles cycles() const override { return cycleCount; }
+
+  private:
+    /**
+     * Context pushed on trap entry. Includes the flags: interrupts
+     * and int-style syscalls push EFLAGS and iret restores it —
+     * without this, a handler's last compare would leak into the
+     * interrupted code's next conditional branch.
+     */
+    struct SavedContext
+    {
+        isa::CodePtr pc;
+        Mode mode;
+        bool fromInterrupt;
+        bool zeroFlag;
+        bool lessFlag;
+    };
+
+    /** Per-branch loop fast-forward bookkeeping. */
+    struct LoopFf
+    {
+        // 0 = need head snapshot, 1 = head taken, 2 = deltas known.
+        int phase = 0;
+        bool unsafe = false;
+
+        std::array<std::uint64_t, isa::numRegs> headRegs{};
+        Count headInstr = 0;
+        Cycles headCycles = 0;
+        std::array<Count, numEvents> headEvents{};
+
+        Count dInstr = 0;
+        Cycles dCycles = 0;
+        std::array<Count, numEvents> dEvents{};
+        int changedReg = -1;
+        std::int64_t step = 0;
+    };
+
+    void step();
+    void execute(const isa::Inst &in);
+    void deliverInterrupt(int vector);
+    void chargeCycles(Cycles c);
+    void countEvent(EventType ev, Count n = 1);
+    void fetchCosts(const isa::Inst &in);
+    void doTakenBranch(const isa::Inst &in, isa::CodePtr target);
+    void dataAccess(Addr addr);
+    void maybeFastForwardKeyed(std::uint64_t key,
+                               const isa::Inst &branch,
+                               int branch_index);
+    std::uint64_t &reg(isa::Reg r);
+
+    const MicroArch &archRef;
+    Pmu pmuUnit;
+    FrontEnd frontEnd;
+    BranchPredictor predictor;
+    CacheModel icache;
+    CacheModel itlb;
+    CacheModel dcache;
+    CacheModel l2;
+    CacheModel dtlb;
+
+    const isa::Program *program = nullptr;
+    isa::CodePtr pc;
+    isa::CodePtr syscallEntry;
+    isa::CodePtr interruptEntry;
+    InterruptClient *intClient = nullptr;
+
+    std::array<std::uint64_t, isa::numRegs> regs{};
+    bool zeroFlag = false;
+    bool lessFlag = false;
+    Mode curMode = Mode::User;
+    bool userRdpmcOk = false;
+    bool userRdtscOk = true;
+
+    std::vector<isa::CodePtr> callStack;
+    std::vector<SavedContext> trapStack;
+    std::unordered_map<Addr, std::uint64_t> memory;
+
+    Cycles cycleCount = 0;
+    std::array<Cycles, 2> cyclesPerMode{};
+    std::array<Count, 2> instrPerMode{};
+    std::array<std::array<Count, 2>, numEvents> rawEv{};
+    Count interruptCount = 0;
+    Count ffIters = 0;
+
+    bool halted = false;
+    bool pcRedirected = false; //!< set when execute() changed pc
+    int activeVector = -1;
+    Addr interruptedAddr = 0;
+    int pmiCounter = -1;
+
+    // Fast-forward state.
+    bool ffEnabled = true;
+    std::unordered_map<std::uint64_t, LoopFf> loops;
+    bool poisonSinceBackward = true;
+};
+
+} // namespace pca::cpu
+
+#endif // PCA_CPU_CORE_HH

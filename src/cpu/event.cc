@@ -1,0 +1,25 @@
+#include "cpu/event.hh"
+
+namespace pca::cpu
+{
+
+const char *
+eventName(EventType e)
+{
+    switch (e) {
+      case EventType::InstrRetired: return "INSTR_RETIRED";
+      case EventType::CpuClkUnhalted: return "CPU_CLK_UNHALTED";
+      case EventType::BrInstRetired: return "BR_INST_RETIRED";
+      case EventType::BrMispRetired: return "BR_MISP_RETIRED";
+      case EventType::IcacheMiss: return "ICACHE_MISS";
+      case EventType::ItlbMiss: return "ITLB_MISS";
+      case EventType::DcacheAccess: return "DCACHE_ACCESS";
+      case EventType::DcacheMiss: return "DCACHE_MISS";
+      case EventType::L2Miss: return "L2_MISS";
+      case EventType::DtlbMiss: return "DTLB_MISS";
+      case EventType::HwInterrupt: return "HW_INTERRUPT";
+      default: return "?";
+    }
+}
+
+} // namespace pca::cpu

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Micro-architectural event types countable by the PMU.
+ */
+
+#ifndef PCA_CPU_EVENT_HH
+#define PCA_CPU_EVENT_HH
+
+#include <cstdint>
+
+namespace pca::cpu
+{
+
+/**
+ * Hardware events. Real processors expose µarch-specific encodings;
+ * the native-event tables in pca::papi map portable names onto these
+ * (mirroring PAPI's preset mechanism).
+ */
+enum class EventType : std::uint8_t
+{
+    InstrRetired,    //!< committed instructions
+    CpuClkUnhalted,  //!< core clock cycles
+    BrInstRetired,   //!< committed branch instructions
+    BrMispRetired,   //!< mispredicted committed branches
+    IcacheMiss,      //!< instruction cache misses
+    ItlbMiss,        //!< instruction TLB misses
+    DcacheAccess,    //!< data cache accesses (loads + stores)
+    DcacheMiss,      //!< L1 data cache misses
+    L2Miss,          //!< unified L2 misses (to memory)
+    DtlbMiss,        //!< data TLB misses
+    HwInterrupt,     //!< hardware interrupts taken
+    NumEvents,
+};
+
+constexpr std::size_t numEvents =
+    static_cast<std::size_t>(EventType::NumEvents);
+
+const char *eventName(EventType e);
+
+} // namespace pca::cpu
+
+#endif // PCA_CPU_EVENT_HH

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Front-end timing model: fetch-window and decode-group accounting.
+ *
+ * This is the mechanism behind Section 6 of the paper: the cycle cost
+ * of the measured loop depends on where the linker placed it. A loop
+ * body that straddles a fetch window costs an extra fetch cycle per
+ * iteration; Core2's loop-stream detector hides the taken-branch
+ * redirect when the loop fits in one cache line; NetBurst's trace
+ * cache alternates free and one-cycle redirects and pays a rebuild
+ * penalty for unfavourably placed loops. The result: cycles per
+ * iteration of the same instruction sequence vary between 1.5 and 4
+ * across placements, exactly the bimodality Figures 10-12 show.
+ */
+
+#ifndef PCA_CPU_FRONTEND_HH
+#define PCA_CPU_FRONTEND_HH
+
+#include "cpu/microarch.hh"
+#include "support/types.hh"
+
+namespace pca::cpu
+{
+
+/**
+ * Additive front-end cycle model.
+ *
+ * Cycles are charged per instruction for (a) entering a new aligned
+ * fetch window, (b) an instruction spanning two windows, and (c)
+ * filling a decode group; plus a redirect bubble at taken branches.
+ * The model is deliberately additive (no overlap modelling): it is
+ * deterministic, cheap, and reproduces the placement sensitivity that
+ * matters for the study.
+ */
+class FrontEnd
+{
+  public:
+    explicit FrontEnd(const MicroArch &arch);
+
+    /** Account for fetching/decoding one instruction. */
+    Cycles onInst(Addr addr, int size);
+
+    /**
+     * Account for a taken branch: flush the partial decode group,
+     * pay the redirect bubble, and steer fetch to @p target.
+     *
+     * @param branch_addr address of the branch instruction
+     * @param branch_end first byte after the branch instruction
+     * @param target branch target address
+     */
+    Cycles onTakenBranch(Addr branch_addr, Addr branch_end,
+                         Addr target);
+
+    /** Steer fetch without a bubble (call/ret/trap paths). */
+    void redirect(Addr target);
+
+    /** Is the loop-stream detector currently feeding the decoder? */
+    bool lsdActive() const { return lsdOn; }
+
+    void reset();
+
+  private:
+    const MicroArch &arch;
+
+    Addr curWindow = ~Addr{0}; //!< current aligned fetch window id
+    int issued = 0;            //!< instructions in current decode group
+    bool lsdOn = false;
+    Addr lsdBranch = ~Addr{0}; //!< candidate loop branch address
+    bool replayToggle = false; //!< NetBurst alternate-cycle redirect
+
+    Addr windowOf(Addr a) const
+    {
+        return a / static_cast<Addr>(arch.fetchBytes);
+    }
+};
+
+} // namespace pca::cpu
+
+#endif // PCA_CPU_FRONTEND_HH

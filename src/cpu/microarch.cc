@@ -1,0 +1,197 @@
+#include "cpu/microarch.hh"
+
+#include "support/logging.hh"
+
+namespace pca::cpu
+{
+
+const char *
+processorCode(Processor p)
+{
+    switch (p) {
+      case Processor::PentiumD: return "PD";
+      case Processor::Core2Duo: return "CD";
+      case Processor::AthlonX2: return "K8";
+    }
+    return "?";
+}
+
+const std::vector<Processor> &
+allProcessors()
+{
+    static const std::vector<Processor> all = {
+        Processor::PentiumD, Processor::Core2Duo, Processor::AthlonX2,
+    };
+    return all;
+}
+
+namespace
+{
+
+MicroArch
+makePentiumD()
+{
+    MicroArch m{};
+    m.processor = Processor::PentiumD;
+    m.name = "Pentium D 925";
+    m.uarch = "NetBurst";
+    m.ghz = 3.0;
+    m.fixedCounters = 0;  // + TSC (Table 1: "0+1")
+    m.progCounters = 18;
+    m.fetchBytes = 32;    // trace-cache line granule
+    m.decodeWidth = 3;
+    m.loopStreamDetector = false;
+    m.lsdMaxInsts = 0;
+    m.redirectBubble = 1;
+    m.traceCacheReplay = true; // alternate-cycle replay on redirects
+    m.mispredictPenalty = 30;
+    m.icacheMissPenalty = 26;
+    m.itlbMissPenalty = 50;
+    m.icacheSets = 32;    // 16 KB trace-cache approximation
+    m.icacheWays = 8;
+    m.icacheLineBytes = 64;
+    m.itlbEntries = 64;
+    m.itlbWays = 4;
+    m.btbSets = 512;
+    m.btbWays = 4;
+    m.dcacheSets = 32;    // 16 KB, 8-way, 64 B
+    m.dcacheWays = 8;
+    m.dcacheLineBytes = 64;
+    m.dcacheMissPenalty = 28;
+    m.l2Sets = 4096;      // 2 MB, 8-way, 64 B
+    m.l2Ways = 8;
+    m.l2LineBytes = 64;
+    m.l2MissPenalty = 200;
+    m.dtlbEntries = 64;
+    m.dtlbWays = 64;      // fully associative
+    m.dtlbMissPenalty = 50;
+    m.rdtscCycles = 80;
+    m.rdpmcCycles = 80;
+    m.rdmsrCycles = 150;
+    m.wrmsrCycles = 200;
+    m.cpuidCycles = 400;
+    m.syscallEntryCycles = 300;
+    m.syscallExitCycles = 250;
+    m.interruptEntryCycles = 400;
+    m.kernelCostScale = 1.25;
+    m.timerHandlerInstrs = 3600;
+    return m;
+}
+
+MicroArch
+makeCore2Duo()
+{
+    MicroArch m{};
+    m.processor = Processor::Core2Duo;
+    m.name = "Core2 Duo E6600";
+    m.uarch = "Core2";
+    m.ghz = 2.4;
+    m.fixedCounters = 3;  // + TSC (Table 1: "3+1")
+    m.progCounters = 2;
+    m.fetchBytes = 16;
+    m.decodeWidth = 4;
+    m.loopStreamDetector = true;
+    m.lsdMaxInsts = 18;
+    m.redirectBubble = 1;
+    m.traceCacheReplay = false;
+    m.mispredictPenalty = 15;
+    m.icacheMissPenalty = 14;
+    m.itlbMissPenalty = 30;
+    m.icacheSets = 64;    // 32 KB, 8-way, 64 B lines
+    m.icacheWays = 8;
+    m.icacheLineBytes = 64;
+    m.itlbEntries = 128;
+    m.itlbWays = 4;
+    m.btbSets = 512;
+    m.btbWays = 4;
+    m.dcacheSets = 64;    // 32 KB, 8-way, 64 B
+    m.dcacheWays = 8;
+    m.dcacheLineBytes = 64;
+    m.dcacheMissPenalty = 14;
+    m.l2Sets = 4096;      // 4 MB, 16-way, 64 B (shared)
+    m.l2Ways = 16;
+    m.l2LineBytes = 64;
+    m.l2MissPenalty = 100;
+    m.dtlbEntries = 256;
+    m.dtlbWays = 4;
+    m.dtlbMissPenalty = 30;
+    m.rdtscCycles = 65;
+    m.rdpmcCycles = 40;
+    m.rdmsrCycles = 100;
+    m.wrmsrCycles = 150;
+    m.cpuidCycles = 200;
+    m.syscallEntryCycles = 100;
+    m.syscallExitCycles = 80;
+    m.interruptEntryCycles = 120;
+    m.kernelCostScale = 1.00;
+    m.timerHandlerInstrs = 4600;
+    return m;
+}
+
+MicroArch
+makeAthlonX2()
+{
+    MicroArch m{};
+    m.processor = Processor::AthlonX2;
+    m.name = "Athlon 64 X2 4200+";
+    m.uarch = "K8";
+    m.ghz = 2.2;
+    m.fixedCounters = 0;  // + TSC (Table 1: "0+1")
+    m.progCounters = 4;
+    m.fetchBytes = 16;
+    m.decodeWidth = 3;
+    m.loopStreamDetector = false;
+    m.lsdMaxInsts = 0;
+    m.redirectBubble = 1;
+    m.traceCacheReplay = false;
+    m.mispredictPenalty = 12;
+    m.icacheMissPenalty = 12;
+    m.itlbMissPenalty = 25;
+    m.icacheSets = 512;   // 64 KB, 2-way, 64 B lines
+    m.icacheWays = 2;
+    m.icacheLineBytes = 64;
+    m.itlbEntries = 32;
+    m.itlbWays = 32;      // fully associative
+    m.btbSets = 2048;
+    m.btbWays = 1;
+    m.dcacheSets = 512;   // 64 KB, 2-way, 64 B
+    m.dcacheWays = 2;
+    m.dcacheLineBytes = 64;
+    m.dcacheMissPenalty = 12;
+    m.l2Sets = 1024;      // 512 KB, 8-way, 64 B
+    m.l2Ways = 8;
+    m.l2LineBytes = 64;
+    m.l2MissPenalty = 120;
+    m.dtlbEntries = 32;
+    m.dtlbWays = 32;      // fully associative
+    m.dtlbMissPenalty = 25;
+    m.rdtscCycles = 7;
+    m.rdpmcCycles = 10;
+    m.rdmsrCycles = 60;
+    m.wrmsrCycles = 80;
+    m.cpuidCycles = 60;
+    m.syscallEntryCycles = 60;
+    m.syscallExitCycles = 60;
+    m.interruptEntryCycles = 80;
+    m.kernelCostScale = 0.80;
+    m.timerHandlerInstrs = 750;
+    return m;
+}
+
+} // namespace
+
+const MicroArch &
+microArch(Processor p)
+{
+    static const MicroArch pd = makePentiumD();
+    static const MicroArch cd = makeCore2Duo();
+    static const MicroArch k8 = makeAthlonX2();
+    switch (p) {
+      case Processor::PentiumD: return pd;
+      case Processor::Core2Duo: return cd;
+      case Processor::AthlonX2: return k8;
+    }
+    pca_panic("unknown processor");
+}
+
+} // namespace pca::cpu

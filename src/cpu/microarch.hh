@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Micro-architecture descriptors for the three processors of the
+ * study (Table 1 of the paper) plus the timing parameters the
+ * simulator's front-end and special-instruction models use.
+ */
+
+#ifndef PCA_CPU_MICROARCH_HH
+#define PCA_CPU_MICROARCH_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace pca::cpu
+{
+
+/** The three processors used in the study. */
+enum class Processor : std::uint8_t
+{
+    PentiumD,  //!< Pentium D 925, NetBurst, 3.0 GHz
+    Core2Duo,  //!< Core 2 Duo E6600, Core2, 2.4 GHz
+    AthlonX2,  //!< Athlon 64 X2 4200+, K8, 2.2 GHz
+};
+
+/** Short code used in the paper's figures (PD / CD / K8). */
+const char *processorCode(Processor p);
+
+/** All processors, in the paper's Table 1 order. */
+const std::vector<Processor> &allProcessors();
+
+/**
+ * Static description of one micro-architecture.
+ *
+ * The front-end parameters drive the placement-sensitivity of cycle
+ * counts (Section 6): the fetch window width determines when the loop
+ * body straddles a fetch line (costing an extra cycle per iteration),
+ * the loop-stream detector hides the taken-branch redirect on Core2,
+ * and NetBurst's trace-cache replay toggling yields its half-cycle
+ * average redirect cost.
+ */
+struct MicroArch
+{
+    Processor processor;
+    std::string name;      //!< marketing name ("Pentium D 925")
+    std::string uarch;     //!< µarch family ("NetBurst")
+    double ghz;            //!< fixed clock (performance governor)
+
+    // --- Counter resources (Table 1) ---
+    int fixedCounters;     //!< fixed-function counters (excl. TSC)
+    int progCounters;      //!< programmable counters
+    bool hasTsc = true;    //!< TSC always present on IA32
+
+    // --- Front end ---
+    int fetchBytes;        //!< aligned fetch window per cycle
+    int decodeWidth;       //!< instructions decoded per cycle
+    bool loopStreamDetector; //!< Core2-style loop buffer
+    int lsdMaxInsts;       //!< max loop body insts held by the LSD
+    int redirectBubble;    //!< cycles lost on a taken branch
+    bool traceCacheReplay; //!< NetBurst: alternate-cycle replay
+
+    // --- Penalties ---
+    int mispredictPenalty; //!< branch mispredict, cycles
+    int icacheMissPenalty; //!< L1I miss (L2 hit), cycles
+    int itlbMissPenalty;   //!< ITLB miss walk, cycles
+
+    // --- Caches / predictors ---
+    int icacheSets, icacheWays, icacheLineBytes;
+    int itlbEntries, itlbWays;
+    int btbSets, btbWays;
+
+    // --- Data-side memory hierarchy ---
+    int dcacheSets, dcacheWays, dcacheLineBytes;
+    int dcacheMissPenalty; //!< L1D miss, L2 hit (cycles)
+    int l2Sets, l2Ways, l2LineBytes;
+    int l2MissPenalty;     //!< L2 miss, memory access (cycles)
+    int dtlbEntries, dtlbWays;
+    int dtlbMissPenalty;
+
+    // --- Special instruction latencies (cycles) ---
+    int rdtscCycles;
+    int rdpmcCycles;
+    int rdmsrCycles;
+    int wrmsrCycles;
+    int cpuidCycles;
+    int syscallEntryCycles; //!< trap into kernel
+    int syscallExitCycles;  //!< iret/sysexit back to user
+    int interruptEntryCycles;
+
+    /**
+     * Relative cost multiplier for kernel code paths: the same kernel
+     * source executes more instructions on some platforms (different
+     * lock/IRQ idioms, 64-bit vs 32-bit paths). Scales the kernel
+     * work() block lengths.
+     */
+    double kernelCostScale;
+
+    /** Timer tick handler length in instructions (arch-dependent). */
+    int timerHandlerInstrs;
+
+    /** Clock cycles between timer ticks (HZ=1000 kernel). */
+    Cycles timerPeriodCycles() const
+    {
+        return static_cast<Cycles>(ghz * 1e9 / 1000.0);
+    }
+};
+
+/** Descriptor for one of the three studied processors. */
+const MicroArch &microArch(Processor p);
+
+} // namespace pca::cpu
+
+#endif // PCA_CPU_MICROARCH_HH

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Performance monitoring unit: programmable counters, fixed-function
+ * counters, and the time stamp counter, with the IA32 MSR interface
+ * (RDPMC/RDTSC/RDMSR/WRMSR) described in Section 2.2 of the paper.
+ */
+
+#ifndef PCA_CPU_PMU_HH
+#define PCA_CPU_PMU_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cpu/event.hh"
+#include "cpu/microarch.hh"
+#include "support/types.hh"
+
+namespace pca::cpu
+{
+
+/**
+ * The PMU of one core.
+ *
+ * Counters are configured through event-select MSRs using the real
+ * IA32 bit layout (event id in bits 0-7, USR bit 16, OS bit 17,
+ * enable bit 22), so the simulated kernel extensions program the PMU
+ * the same way the real perfctr/perfmon2 do.
+ *
+ * Counting happens in "counting" mode only: overflow interrupts
+ * (sampling mode) are outside the paper's scope and unimplemented.
+ */
+class Pmu
+{
+  public:
+    // MSR numbers (IA32).
+    static constexpr std::uint32_t msrTsc = 0x10;
+    static constexpr std::uint32_t msrPmcBase = 0xc1;       // PMC0..
+    static constexpr std::uint32_t msrEvtSelBase = 0x186;   // PERFEVTSEL0..
+    static constexpr std::uint32_t msrFixedCtrBase = 0x309; // FIXED_CTR0..
+    static constexpr std::uint32_t msrFixedCtrCtrl = 0x38d;
+
+    // Event-select bit layout.
+    static constexpr std::uint64_t selUsrBit = 1ULL << 16;
+    static constexpr std::uint64_t selOsBit = 1ULL << 17;
+    static constexpr std::uint64_t selEnableBit = 1ULL << 22;
+
+    /** RDPMC index bit selecting the fixed-counter bank. */
+    static constexpr std::uint64_t rdpmcFixedBit = 1ULL << 30;
+
+    explicit Pmu(const MicroArch &arch);
+
+    /** Build an event-select MSR value. */
+    static std::uint64_t encodeEvtSel(EventType ev, PlMask pl,
+                                      bool enable);
+
+    /** Decode the event id field of an event-select value. */
+    static EventType decodeEvent(std::uint64_t sel);
+
+    // --- MSR interface (kernel-mode instructions) ---
+    void wrmsr(std::uint32_t msr, std::uint64_t value);
+    std::uint64_t rdmsr(std::uint32_t msr) const;
+
+    // --- User-visible reads ---
+    /** RDPMC: select < numProg(), or rdpmcFixedBit | fixed index. */
+    std::uint64_t rdpmc(std::uint64_t select) const;
+    std::uint64_t rdtsc() const { return tsc; }
+
+    // --- Simulation-side event feed ---
+    /** Record @p n occurrences of @p ev at privilege mode @p mode. */
+    void count(EventType ev, Mode mode, Count n);
+
+    /** Advance time: TSC and cycle-event counters. */
+    void addCycles(Cycles n, Mode mode);
+
+    // --- Introspection (used by kernel modules and tests) ---
+    int numProg() const { return static_cast<int>(prog.size()); }
+    int numFixed() const { return static_cast<int>(fixed.size()); }
+
+    struct Counter
+    {
+        EventType event = EventType::InstrRetired;
+        PlMask pl = PlMask::None;
+        bool enabled = false;
+        Count value = 0;
+        Count samplePeriod = 0; //!< 0 = counting mode, else sampling
+    };
+
+    const Counter &progCounter(int i) const;
+    const Counter &fixedCounter(int i) const;
+
+    /** Directly set a programmable counter value (context restore). */
+    void setProgValue(int i, Count v);
+
+    // --- Sampling (overflow interrupt) support ---
+
+    /**
+     * Arm counter @p i for sampling: every @p period events the
+     * counter raises a PMI (modelled after the kernel writing
+     * -period into the PMC so it overflows after period events).
+     * A period of 0 disarms.
+     */
+    void setSamplePeriod(int i, Count period);
+
+    /** Is any counter armed for sampling? */
+    bool samplingActive() const { return armedMask != 0; }
+
+    /** Is a PMI pending? */
+    bool overflowPending() const { return pendingMask != 0; }
+
+    /**
+     * Consume one pending overflow; returns the counter index or -1.
+     */
+    int takeOverflow();
+    /** Directly set the TSC (context restore / virtualization). */
+    void setTsc(Count v) { tsc = v; }
+
+    /** Disable and zero everything (power-on state). */
+    void reset();
+
+  private:
+    void rebuildActive();
+
+    std::vector<Counter> prog;
+    std::vector<Counter> fixed;
+    Count tsc = 0;
+    std::uint64_t armedMask = 0;   //!< counters armed for sampling
+    std::uint64_t pendingMask = 0; //!< counters with pending PMIs
+
+    /**
+     * Cache of enabled counters per (event, mode): counting is on the
+     * interpreter's hot path and PD has 18 programmable counters.
+     * Entries are indexes into prog (fixed handled separately).
+     */
+    std::array<std::array<std::vector<int>, 2>, numEvents> active;
+    std::array<std::array<std::vector<int>, 2>, numEvents> activeFixed;
+};
+
+} // namespace pca::cpu
+
+#endif // PCA_CPU_PMU_HH

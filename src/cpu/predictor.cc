@@ -1,0 +1,60 @@
+#include "cpu/predictor.hh"
+
+#include "support/logging.hh"
+
+namespace pca::cpu
+{
+
+BranchPredictor::BranchPredictor(int btb_sets, int btb_ways)
+    : bimodal(static_cast<std::size_t>(btb_sets) * 4, 1),
+      btb(btb_sets, btb_ways, /*line_bytes=*/4)
+{
+}
+
+std::size_t
+BranchPredictor::tableIndex(Addr addr) const
+{
+    // Drop the low 2 bits (dense code) and fold.
+    return static_cast<std::size_t>((addr >> 2) ^ (addr >> 13))
+        % bimodal.size();
+}
+
+bool
+BranchPredictor::predictAndTrain(Addr addr, bool taken)
+{
+    ++lookupCount;
+    std::uint8_t &ctr = bimodal[tableIndex(addr)];
+    const bool pred_taken = ctr >= 2;
+
+    // A predicted-taken branch also needs its target from the BTB;
+    // a BTB miss redirects late and costs like a mispredict.
+    const bool btb_hit = btb.access(addr);
+    bool mispredict = (pred_taken != taken) || (taken && !btb_hit);
+
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+
+    if (mispredict)
+        ++mispredictCount;
+    return mispredict;
+}
+
+void
+BranchPredictor::noteUncond(Addr addr)
+{
+    btb.access(addr);
+}
+
+void
+BranchPredictor::reset()
+{
+    for (auto &c : bimodal)
+        c = 1; // weakly not-taken
+    btb.flush();
+    mispredictCount = 0;
+    lookupCount = 0;
+}
+
+} // namespace pca::cpu

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Branch direction predictor (2-bit bimodal) with a branch target
+ * buffer. A loop branch mispredicts while the bimodal counter warms
+ * up, predicts correctly in steady state, and mispredicts once at
+ * loop exit — the classic pattern the paper's loop benchmark sees.
+ */
+
+#ifndef PCA_CPU_PREDICTOR_HH
+#define PCA_CPU_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/cache.hh"
+#include "support/types.hh"
+
+namespace pca::cpu
+{
+
+/** Bimodal predictor + BTB. */
+class BranchPredictor
+{
+  public:
+    /**
+     * @param btb_sets BTB sets (power of two)
+     * @param btb_ways BTB associativity
+     */
+    BranchPredictor(int btb_sets, int btb_ways);
+
+    /**
+     * Predict and train on one executed conditional branch.
+     *
+     * @param addr branch instruction address
+     * @param taken actual outcome
+     * @return true if the prediction was wrong
+     */
+    bool predictAndTrain(Addr addr, bool taken);
+
+    /**
+     * Record an unconditional transfer (jmp/call/ret); only allocates
+     * the BTB entry, never mispredicts in this model.
+     */
+    void noteUncond(Addr addr);
+
+    /** Forget all state (new program / context switch flush). */
+    void reset();
+
+    std::uint64_t mispredicts() const { return mispredictCount; }
+    std::uint64_t lookups() const { return lookupCount; }
+
+  private:
+    std::size_t tableIndex(Addr addr) const;
+
+    std::vector<std::uint8_t> bimodal; //!< 2-bit saturating counters
+    CacheModel btb;
+    std::uint64_t mispredictCount = 0;
+    std::uint64_t lookupCount = 0;
+};
+
+} // namespace pca::cpu
+
+#endif // PCA_CPU_PREDICTOR_HH

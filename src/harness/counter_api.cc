@@ -1,0 +1,263 @@
+#include "harness/counter_api.hh"
+
+#include "papi/papi.hh"
+#include "support/logging.hh"
+
+namespace pca::harness
+{
+
+using isa::Assembler;
+
+namespace
+{
+
+perfmon::PfmSpec
+toPfmSpec(const ApiConfig &cfg)
+{
+    perfmon::PfmSpec s;
+    s.events = cfg.events;
+    s.pl = cfg.pl;
+    return s;
+}
+
+perfctr::ControlSpec
+toPcSpec(const ApiConfig &cfg)
+{
+    perfctr::ControlSpec s;
+    s.events = cfg.events;
+    s.pl = cfg.pl;
+    s.tsc = cfg.tsc;
+    return s;
+}
+
+papi::PapiSpec
+toPapiSpec(const ApiConfig &cfg)
+{
+    papi::PapiSpec s;
+    for (cpu::EventType ev : cfg.events)
+        s.events.push_back(papi::presetForEvent(ev));
+    s.domain = cfg.pl;
+    return s;
+}
+
+perfmon::ReadCapture
+pmCapture(CaptureSink *sink)
+{
+    return [sink](const std::vector<Count> &v) {
+        sink->values = v;
+        ++sink->captures;
+    };
+}
+
+perfctr::ReadCapture
+pcCapture(CaptureSink *sink)
+{
+    return [sink](const std::vector<Count> &v, Count tsc) {
+        sink->values = v;
+        sink->tsc = tsc;
+        ++sink->captures;
+    };
+}
+
+papi::ReadCapture
+papiCapture(CaptureSink *sink)
+{
+    return [sink](const std::vector<Count> &v) {
+        sink->values = v;
+        ++sink->captures;
+    };
+}
+
+/** Direct libpfm use (pm). */
+class PmApi : public CounterApi
+{
+  public:
+    PmApi(perfmon::LibPfm &lib, const ApiConfig &cfg)
+        : lib(lib), spec(toPfmSpec(cfg))
+    {
+    }
+
+    void
+    emitSetup(Assembler &a) override
+    {
+        lib.emitInitialize(a);
+        lib.emitCreateContext(a);
+        lib.emitWritePmcs(a, spec);
+    }
+
+    void
+    emitStart(Assembler &a) override
+    {
+        lib.emitWritePmds(a, spec); // reset
+        lib.emitStart(a);
+    }
+
+    void
+    emitRead(Assembler &a, CaptureSink *sink) override
+    {
+        lib.emitRead(a, spec, pmCapture(sink));
+    }
+
+    void
+    emitStopAndRead(Assembler &a, CaptureSink *sink) override
+    {
+        lib.emitStop(a);
+        lib.emitRead(a, spec, pmCapture(sink));
+    }
+
+  private:
+    perfmon::LibPfm &lib;
+    perfmon::PfmSpec spec;
+};
+
+/** Direct libperfctr use (pc). */
+class PcApi : public CounterApi
+{
+  public:
+    PcApi(perfctr::LibPerfctr &lib, const ApiConfig &cfg)
+        : lib(lib), spec(toPcSpec(cfg))
+    {
+    }
+
+    void
+    emitSetup(Assembler &a) override
+    {
+        lib.emitOpen(a);
+    }
+
+    void
+    emitStart(Assembler &a) override
+    {
+        lib.emitControl(a, spec); // reset + program + start
+    }
+
+    void
+    emitRead(Assembler &a, CaptureSink *sink) override
+    {
+        lib.emitRead(a, spec, pcCapture(sink));
+    }
+
+    void
+    emitStopAndRead(Assembler &a, CaptureSink *sink) override
+    {
+        lib.emitStop(a);
+        lib.emitRead(a, spec, pcCapture(sink));
+    }
+
+  private:
+    perfctr::LibPerfctr &lib;
+    perfctr::ControlSpec spec;
+};
+
+/** PAPI low-level API (PLpm / PLpc). */
+class PapiLowApi : public CounterApi
+{
+  public:
+    PapiLowApi(papi::Substrate sub, Machine &m, const ApiConfig &cfg)
+        : low(sub, m.arch().processor, m.libPfm(), m.libPerfctr()),
+          spec(toPapiSpec(cfg))
+    {
+    }
+
+    void
+    emitSetup(Assembler &a) override
+    {
+        low.emitLibraryInit(a);
+        low.emitCreateEventSet(a, spec);
+    }
+
+    void
+    emitStart(Assembler &a) override
+    {
+        low.emitStart(a);
+    }
+
+    void
+    emitRead(Assembler &a, CaptureSink *sink) override
+    {
+        low.emitRead(a, papiCapture(sink));
+    }
+
+    void
+    emitStopAndRead(Assembler &a, CaptureSink *sink) override
+    {
+        low.emitStopAndRead(a, papiCapture(sink));
+    }
+
+  private:
+    papi::PapiLow low;
+    papi::PapiSpec spec;
+};
+
+/** PAPI high-level API (PHpm / PHpc). */
+class PapiHighApi : public CounterApi
+{
+  public:
+    PapiHighApi(papi::Substrate sub, Machine &m, const ApiConfig &cfg)
+        : low(sub, m.arch().processor, m.libPfm(), m.libPerfctr()),
+          high(low), spec(toPapiSpec(cfg))
+    {
+    }
+
+    void
+    emitSetup(Assembler &a) override
+    {
+        // The high-level API needs no explicit setup: its start
+        // initializes the library on first use.
+        (void)a;
+    }
+
+    void
+    emitStart(Assembler &a) override
+    {
+        high.emitStartCounters(a, spec);
+    }
+
+    void
+    emitRead(Assembler &a, CaptureSink *sink) override
+    {
+        // Read-and-reset: legal only as a measurement's final read.
+        high.emitReadCounters(a, papiCapture(sink));
+    }
+
+    void
+    emitStopAndRead(Assembler &a, CaptureSink *sink) override
+    {
+        high.emitStopCounters(a, papiCapture(sink));
+    }
+
+    bool supportsPlainRead() const override { return false; }
+
+  private:
+    papi::PapiLow low;
+    papi::PapiHigh high;
+    papi::PapiSpec spec;
+};
+
+} // namespace
+
+std::unique_ptr<CounterApi>
+makeCounterApi(Machine &machine, const ApiConfig &cfg)
+{
+    pca_assert(!cfg.events.empty());
+    const Interface iface = machine.iface();
+    const papi::Substrate sub = usesPerfmon(iface)
+        ? papi::Substrate::Perfmon
+        : papi::Substrate::Perfctr;
+
+    switch (iface) {
+      case Interface::Pm:
+        return std::make_unique<PmApi>(*machine.libPfm(), cfg);
+      case Interface::Pc:
+        return std::make_unique<PcApi>(*machine.libPerfctr(), cfg);
+      case Interface::PLpm:
+      case Interface::PLpc:
+        return std::make_unique<PapiLowApi>(sub, machine, cfg);
+      case Interface::PHpm:
+      case Interface::PHpc:
+        return std::make_unique<PapiHighApi>(sub, machine, cfg);
+    }
+    pca_panic("unknown interface");
+}
+
+} // namespace pca::harness

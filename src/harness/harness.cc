@@ -1,0 +1,169 @@
+#include "harness/harness.hh"
+
+#include "isa/assembler.hh"
+#include "support/logging.hh"
+#include "support/random.hh"
+
+namespace pca::harness
+{
+
+using isa::Assembler;
+using isa::Reg;
+
+const char *
+countingModeName(CountingMode m)
+{
+    switch (m) {
+      case CountingMode::User: return "user";
+      case CountingMode::UserKernel: return "user+kernel";
+      case CountingMode::Kernel: return "kernel";
+    }
+    return "?";
+}
+
+PlMask
+toPlMask(CountingMode m)
+{
+    switch (m) {
+      case CountingMode::User: return PlMask::User;
+      case CountingMode::UserKernel: return PlMask::UserKernel;
+      case CountingMode::Kernel: return PlMask::Kernel;
+    }
+    pca_panic("bad counting mode");
+}
+
+namespace
+{
+
+/**
+ * Harness code sizes per gcc optimization level (O0..O3). The
+ * optimizable code is only the measurement scaffolding (the
+ * benchmark is inline assembly), so levels differ in frame setup and
+ * spill code *outside* the measured window — which is why the paper's
+ * ANOVA finds the optimization level insignificant for instruction
+ * error, while the resulting layout shift changes cycle counts.
+ */
+constexpr int prologueWork[4] = {26, 17, 12, 9};
+constexpr int betweenWork[4] = {9, 6, 4, 3};
+constexpr int epilogueWork[4] = {6, 4, 3, 2};
+
+} // namespace
+
+MeasurementHarness::MeasurementHarness(const HarnessConfig &cfg)
+    : cfg(cfg)
+{
+    pca_assert(cfg.optLevel >= 0 && cfg.optLevel <= 3);
+    if (!patternSupported(cfg.iface, cfg.pattern))
+        pca_fatal("interface ", interfaceCode(cfg.iface),
+                  " does not support the ", patternName(cfg.pattern),
+                  " pattern");
+    const auto &arch = cpu::microArch(cfg.processor);
+    const int want = 1 + static_cast<int>(cfg.extraEvents.size());
+    if (want > arch.progCounters)
+        pca_fatal(arch.name, " has only ", arch.progCounters,
+                  " programmable counters; requested ", want);
+}
+
+std::vector<cpu::EventType>
+MeasurementHarness::counterEvents() const
+{
+    std::vector<cpu::EventType> events{cfg.primaryEvent};
+    events.insert(events.end(), cfg.extraEvents.begin(),
+                  cfg.extraEvents.end());
+    return events;
+}
+
+Measurement
+MeasurementHarness::measure(const MicroBenchmark &bench) const
+{
+    MachineConfig mc;
+    mc.processor = cfg.processor;
+    mc.iface = cfg.iface;
+    mc.seed = cfg.seed;
+    mc.interruptsEnabled = cfg.interruptsEnabled;
+    mc.ioInterrupts = cfg.ioInterrupts;
+    mc.preemptProb = cfg.preemptProb;
+    mc.fastForward = cfg.fastForward;
+    Machine machine(mc);
+
+    ApiConfig acfg;
+    acfg.events = counterEvents();
+    acfg.pl = toPlMask(cfg.mode);
+    acfg.tsc = cfg.tsc;
+    auto api = makeCounterApi(machine, acfg);
+
+    CaptureSink s0, s1;
+    Assembler a("main");
+
+    // Harness scaffolding (outside the measured window).
+    a.push(Reg::Ebp);
+    a.work(prologueWork[cfg.optLevel]);
+    api->emitSetup(a);
+    a.work(betweenWork[cfg.optLevel]);
+
+    switch (cfg.pattern) {
+      case AccessPattern::StartRead:
+        api->emitStart(a);
+        bench.emit(a);
+        api->emitRead(a, &s1);
+        break;
+      case AccessPattern::StartStop:
+        api->emitStart(a);
+        bench.emit(a);
+        api->emitStopAndRead(a, &s1);
+        break;
+      case AccessPattern::ReadRead:
+        api->emitStart(a);
+        api->emitRead(a, &s0);
+        bench.emit(a);
+        api->emitRead(a, &s1);
+        break;
+      case AccessPattern::ReadStop:
+        api->emitStart(a);
+        api->emitRead(a, &s0);
+        bench.emit(a);
+        api->emitStopAndRead(a, &s1);
+        break;
+    }
+
+    a.work(epilogueWork[cfg.optLevel]);
+    a.pop(Reg::Ebp);
+    a.halt();
+
+    machine.addUserBlock(a.take());
+    machine.finalize();
+
+    Measurement m;
+    m.run = machine.run("main");
+    m.c0 = s0.primary();
+    m.c1 = s1.primary();
+    m.tsc0 = s0.tsc;
+    m.tsc1 = s1.tsc;
+    m.c0All = s0.values;
+    m.c1All = s1.values;
+
+    // The analytical ground truth exists only for the benchmark's
+    // retired user-mode instructions.
+    if (cfg.primaryEvent == cpu::EventType::InstrRetired &&
+        cfg.mode != CountingMode::Kernel) {
+        m.expected = bench.expectedInstructions();
+    }
+    return m;
+}
+
+std::vector<Measurement>
+MeasurementHarness::measureMany(const MicroBenchmark &bench,
+                                int runs) const
+{
+    pca_assert(runs >= 1);
+    std::vector<Measurement> out;
+    out.reserve(static_cast<std::size_t>(runs));
+    HarnessConfig per_run = cfg;
+    for (int r = 0; r < runs; ++r) {
+        per_run.seed = mixSeed(cfg.seed, static_cast<std::uint64_t>(r));
+        out.push_back(MeasurementHarness(per_run).measure(bench));
+    }
+    return out;
+}
+
+} // namespace pca::harness

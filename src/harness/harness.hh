@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The measurement harness: embeds a micro-benchmark in the library
+ * calls of a counter access pattern, runs the result on a freshly
+ * booted Machine, and reports the measured counts next to the
+ * benchmark's analytical ground truth (§3.5-3.6 of the paper).
+ */
+
+#ifndef PCA_HARNESS_HARNESS_HH
+#define PCA_HARNESS_HARNESS_HH
+
+#include <vector>
+
+#include "cpu/core.hh"
+#include "harness/counter_api.hh"
+#include "harness/interface.hh"
+#include "harness/machine.hh"
+#include "harness/microbench.hh"
+#include "harness/pattern.hh"
+#include "support/types.hh"
+
+namespace pca::harness
+{
+
+/** Which privilege levels the measurement counts (§2.5). */
+enum class CountingMode
+{
+    User,       //!< user-mode events only
+    UserKernel, //!< user + kernel mode events
+    Kernel,     //!< kernel-mode only (used for Figure 9)
+};
+
+const char *countingModeName(CountingMode m);
+PlMask toPlMask(CountingMode m);
+
+/** One point in the experiment factor space. */
+struct HarnessConfig
+{
+    cpu::Processor processor = cpu::Processor::Core2Duo;
+    Interface iface = Interface::Pm;
+    AccessPattern pattern = AccessPattern::StartRead;
+    CountingMode mode = CountingMode::UserKernel;
+
+    /** gcc optimization level 0..3 (changes harness code layout). */
+    int optLevel = 2;
+
+    /** Event on the measured counter (slot 0). */
+    cpu::EventType primaryEvent = cpu::EventType::InstrRetired;
+
+    /** Events on additional counters (the #registers factor). */
+    std::vector<cpu::EventType> extraEvents;
+
+    /** perfctr only: enable the TSC (fast user-mode reads). */
+    bool tsc = true;
+
+    std::uint64_t seed = 1;
+    bool interruptsEnabled = true;
+    bool ioInterrupts = true;
+    double preemptProb = 0.015;
+    bool fastForward = true;
+};
+
+/** Result of one measurement run. */
+struct Measurement
+{
+    Count c0 = 0;      //!< primary counter before the benchmark
+    Count c1 = 0;      //!< primary counter after the benchmark
+    Count tsc0 = 0, tsc1 = 0;
+    std::vector<Count> c0All, c1All;
+
+    /** Analytical expected count for the primary event (0 if none). */
+    Count expected = 0;
+
+    /** Whole-run totals from the simulator (ground truth). */
+    cpu::RunResult run;
+
+    /** Measured event count c∆ = c1 - c0. */
+    SCount delta() const
+    {
+        return static_cast<SCount>(c1) - static_cast<SCount>(c0);
+    }
+
+    /** Measurement error: c∆ - expected. */
+    SCount error() const
+    {
+        return delta() - static_cast<SCount>(expected);
+    }
+};
+
+/**
+ * Builds and runs one measurement. Each measure() call boots a fresh
+ * Machine (fresh caches, new interrupt phase) and executes the full
+ * program: setup, pattern calls, inline benchmark, teardown.
+ */
+class MeasurementHarness
+{
+  public:
+    explicit MeasurementHarness(const HarnessConfig &cfg);
+
+    /** Run the measurement once. */
+    Measurement measure(const MicroBenchmark &bench) const;
+
+    /** Run @p runs times with distinct seeds; returns all results. */
+    std::vector<Measurement>
+    measureMany(const MicroBenchmark &bench, int runs) const;
+
+    const HarnessConfig &config() const { return cfg; }
+
+    /** The counter events this config programs (primary + extras). */
+    std::vector<cpu::EventType> counterEvents() const;
+
+  private:
+    HarnessConfig cfg;
+};
+
+} // namespace pca::harness
+
+#endif // PCA_HARNESS_HARNESS_HH

@@ -1,0 +1,59 @@
+#include "harness/interface.hh"
+
+namespace pca::harness
+{
+
+const char *
+interfaceCode(Interface i)
+{
+    switch (i) {
+      case Interface::Pm: return "pm";
+      case Interface::Pc: return "pc";
+      case Interface::PLpm: return "PLpm";
+      case Interface::PLpc: return "PLpc";
+      case Interface::PHpm: return "PHpm";
+      case Interface::PHpc: return "PHpc";
+    }
+    return "?";
+}
+
+const std::vector<Interface> &
+allInterfaces()
+{
+    static const std::vector<Interface> all = {
+        Interface::Pm,   Interface::Pc,   Interface::PLpm,
+        Interface::PLpc, Interface::PHpm, Interface::PHpc,
+    };
+    return all;
+}
+
+bool
+usesPerfmon(Interface i)
+{
+    return i == Interface::Pm || i == Interface::PLpm ||
+        i == Interface::PHpm;
+}
+
+bool
+isPapiHigh(Interface i)
+{
+    return i == Interface::PHpm || i == Interface::PHpc;
+}
+
+bool
+isPapiLow(Interface i)
+{
+    return i == Interface::PLpm || i == Interface::PLpc;
+}
+
+bool
+patternSupported(Interface iface, AccessPattern pattern)
+{
+    if (isPapiHigh(iface)) {
+        return pattern == AccessPattern::StartRead ||
+            pattern == AccessPattern::StartStop;
+    }
+    return true;
+}
+
+} // namespace pca::harness

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The six counter access interfaces of Figure 2 in the paper.
+ */
+
+#ifndef PCA_HARNESS_INTERFACE_HH
+#define PCA_HARNESS_INTERFACE_HH
+
+#include <vector>
+
+#include "harness/pattern.hh"
+
+namespace pca::harness
+{
+
+/**
+ * A way to access the counters: direct library use (pm, pc), PAPI
+ * low level (PLpm, PLpc), or PAPI high level (PHpm, PHpc), each on
+ * one of the two kernel extensions.
+ */
+enum class Interface
+{
+    Pm,   //!< libpfm directly
+    Pc,   //!< libperfctr directly
+    PLpm, //!< PAPI low-level API over libpfm
+    PLpc, //!< PAPI low-level API over libperfctr
+    PHpm, //!< PAPI high-level API over libpfm
+    PHpc, //!< PAPI high-level API over libperfctr
+};
+
+/** Paper code ("pm", "pc", "PLpm", ...). */
+const char *interfaceCode(Interface i);
+
+/** All six interfaces. */
+const std::vector<Interface> &allInterfaces();
+
+/** Does this interface sit on perfmon2 (else perfctr)? */
+bool usesPerfmon(Interface i);
+
+/** Is this one of the PAPI high-level interfaces? */
+bool isPapiHigh(Interface i);
+
+/** Is this one of the PAPI low-level interfaces? */
+bool isPapiLow(Interface i);
+
+/**
+ * Can @p iface run @p pattern? The PAPI high-level API cannot run
+ * read-read or read-stop: its read resets the counters (§3.5).
+ */
+bool patternSupported(Interface iface, AccessPattern pattern);
+
+} // namespace pca::harness
+
+#endif // PCA_HARNESS_INTERFACE_HH

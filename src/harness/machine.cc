@@ -1,0 +1,70 @@
+#include "harness/machine.hh"
+
+#include "support/logging.hh"
+
+namespace pca::harness
+{
+
+Machine::Machine(const MachineConfig &cfg)
+    : cfg(cfg), archRef(cpu::microArch(cfg.processor))
+{
+    coreImpl = std::make_unique<cpu::Core>(archRef);
+    kernelImpl = std::make_unique<kernel::Kernel>(
+        archRef, cfg.seed, cfg.ioInterrupts);
+    kernelImpl->setPreemptProbability(cfg.preemptProb);
+
+    // Load exactly one extension, mirroring the paper's two patched
+    // kernels (a perfctr kernel and a perfmon2 kernel) — or the
+    // modern perf_event replacement for the forward-looking study.
+    if (cfg.usePerfEvent) {
+        peMod = std::make_unique<kernel::PerfEventModule>(archRef);
+        kernelImpl->addModule(peMod.get());
+        peLib = std::make_unique<perfevent::LibPerf>(*peMod);
+    } else if (usesPerfmon(cfg.iface)) {
+        pmMod = std::make_unique<kernel::PerfmonModule>(archRef);
+        kernelImpl->addModule(pmMod.get());
+        pmLib = std::make_unique<perfmon::LibPfm>(*pmMod);
+    } else {
+        pcMod = std::make_unique<kernel::PerfctrModule>(archRef);
+        kernelImpl->addModule(pcMod.get());
+        pcLib = std::make_unique<perfctr::LibPerfctr>(*pcMod);
+    }
+
+    kernelImpl->buildInto(prog);
+    kernelBlocks = static_cast<int>(prog.blockCount());
+    for (int b = 0; b < kernelBlocks; ++b)
+        prog.setSegment(b, 1);
+}
+
+int
+Machine::addUserBlock(isa::CodeBlock block)
+{
+    pca_assert(!finalized);
+    return prog.add(std::move(block));
+}
+
+void
+Machine::finalize(Addr user_text_offset)
+{
+    pca_assert(!finalized);
+    // Byte-granular user-text placement: the paper's placement
+    // effects move the loop by single bytes (different executables),
+    // so user blocks must not be re-aligned away from the offset.
+    prog.link2(0x08048000ULL + user_text_offset, 0xc0000000ULL,
+               /*align=*/1);
+    coreImpl->setProgram(&prog);
+    coreImpl->setFastForwardEnabled(cfg.fastForward);
+    kernelImpl->attach(*coreImpl);
+    if (!cfg.interruptsEnabled)
+        coreImpl->setInterruptClient(nullptr);
+    finalized = true;
+}
+
+cpu::RunResult
+Machine::run(const std::string &entry)
+{
+    pca_assert(finalized);
+    return coreImpl->run(prog.entry(entry));
+}
+
+} // namespace pca::harness

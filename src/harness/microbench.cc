@@ -1,0 +1,121 @@
+#include "harness/microbench.hh"
+
+#include "support/logging.hh"
+
+namespace pca::harness
+{
+
+using isa::Reg;
+
+LoopBench::LoopBench(Count iterations)
+    : iters(iterations)
+{
+    pca_assert(iters >= 1);
+}
+
+void
+LoopBench::emit(isa::Assembler &a) const
+{
+    a.movImm(Reg::Eax, 0);
+    int loop = a.label();
+    a.addImm(Reg::Eax, 1)
+        .cmpImm(Reg::Eax, static_cast<std::int64_t>(iters))
+        .jne(loop);
+}
+
+Count
+LoopBench::expectedInstructions() const
+{
+    return 1 + 3 * iters;
+}
+
+ArrayWalkBench::ArrayWalkBench(Count elements, int stride_bytes)
+    : elements(elements), strideBytes(stride_bytes)
+{
+    pca_assert(elements >= 1);
+    pca_assert(stride_bytes >= 1);
+}
+
+void
+ArrayWalkBench::emit(isa::Assembler &a) const
+{
+    // esi walks the array, eax counts elements.
+    a.movImm(Reg::Esi, 0x20000000); // data region base
+    a.movImm(Reg::Eax, 0);
+    int loop = a.label();
+    a.load(Reg::Ebx, Reg::Esi, 0)
+        .addImm(Reg::Esi, strideBytes)
+        .addImm(Reg::Eax, 1)
+        .cmpImm(Reg::Eax, static_cast<std::int64_t>(elements))
+        .jne(loop);
+}
+
+Count
+ArrayWalkBench::expectedInstructions() const
+{
+    return 2 + 5 * elements;
+}
+
+std::optional<Count>
+ArrayWalkBench::expectedEvents(cpu::EventType ev,
+                               const cpu::MicroArch &arch) const
+{
+    const Count stride = static_cast<Count>(strideBytes);
+    switch (ev) {
+      case cpu::EventType::InstrRetired:
+        return expectedInstructions();
+      case cpu::EventType::DcacheAccess:
+        return elements;
+      case cpu::EventType::DcacheMiss:
+      {
+        // Cold walk: one miss per distinct line touched (each line
+        // holds line/stride elements when the stride is smaller).
+        const auto line = static_cast<Count>(arch.dcacheLineBytes);
+        if (stride >= line)
+            return elements;
+        return (elements * stride + line - 1) / line;
+      }
+      case cpu::EventType::DtlbMiss:
+      {
+        // One miss per distinct 4 KiB page.
+        constexpr Count page = 4096;
+        if (stride >= page)
+            return elements;
+        return (elements * stride + page - 1) / page;
+      }
+      default:
+        return std::nullopt;
+    }
+}
+
+LinearBench::LinearBench(Count instructions)
+    : n(instructions)
+{
+    pca_assert(n >= 1);
+}
+
+void
+LinearBench::emit(isa::Assembler &a) const
+{
+    a.nop(static_cast<int>(n));
+}
+
+std::optional<Count>
+LinearBench::expectedEvents(cpu::EventType ev,
+                            const cpu::MicroArch &arch) const
+{
+    switch (ev) {
+      case cpu::EventType::InstrRetired:
+        return n;
+      case cpu::EventType::IcacheMiss:
+        // One-byte instructions: one cold miss per i-cache line.
+        return (n + static_cast<Count>(arch.icacheLineBytes) - 1) /
+            static_cast<Count>(arch.icacheLineBytes);
+      case cpu::EventType::ItlbMiss:
+        return (n + 4095) / 4096;
+      default:
+        return std::nullopt;
+    }
+}
+
+} // namespace pca::harness

@@ -1,0 +1,42 @@
+#include "harness/pattern.hh"
+
+namespace pca::harness
+{
+
+const char *
+patternCode(AccessPattern p)
+{
+    switch (p) {
+      case AccessPattern::StartRead: return "ar";
+      case AccessPattern::StartStop: return "ao";
+      case AccessPattern::ReadRead: return "rr";
+      case AccessPattern::ReadStop: return "ro";
+    }
+    return "?";
+}
+
+const char *
+patternName(AccessPattern p)
+{
+    switch (p) {
+      case AccessPattern::StartRead: return "start-read";
+      case AccessPattern::StartStop: return "start-stop";
+      case AccessPattern::ReadRead: return "read-read";
+      case AccessPattern::ReadStop: return "read-stop";
+    }
+    return "?";
+}
+
+const std::vector<AccessPattern> &
+allPatterns()
+{
+    static const std::vector<AccessPattern> all = {
+        AccessPattern::StartRead,
+        AccessPattern::StartStop,
+        AccessPattern::ReadRead,
+        AccessPattern::ReadStop,
+    };
+    return all;
+}
+
+} // namespace pca::harness

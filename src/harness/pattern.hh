@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Counter access patterns (Table 2 of the paper).
+ */
+
+#ifndef PCA_HARNESS_PATTERN_HH
+#define PCA_HARNESS_PATTERN_HH
+
+#include <vector>
+
+namespace pca::harness
+{
+
+/**
+ * The four measurement patterns. All capture a counter value c0
+ * before the benchmark and c1 after it; c∆ = c1 - c0 is the
+ * measured event count.
+ */
+enum class AccessPattern
+{
+    StartRead, //!< ar: c0=0, reset, start ... c1=read
+    StartStop, //!< ao: c0=0, reset, start ... stop, c1=read
+    ReadRead,  //!< rr: start, c0=read ... c1=read
+    ReadStop,  //!< ro: start, c0=read ... stop, c1=read
+};
+
+/** Paper's two-letter code ("ar", "ao", "rr", "ro"). */
+const char *patternCode(AccessPattern p);
+
+/** Paper's long name ("start-read", ...). */
+const char *patternName(AccessPattern p);
+
+/** All four patterns in Table 2 order. */
+const std::vector<AccessPattern> &allPatterns();
+
+} // namespace pca::harness
+
+#endif // PCA_HARNESS_PATTERN_HH

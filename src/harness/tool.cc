@@ -1,0 +1,120 @@
+#include "harness/tool.hh"
+
+#include "harness/counter_api.hh"
+#include "isa/assembler.hh"
+#include "support/logging.hh"
+
+namespace pca::harness
+{
+
+using isa::Assembler;
+using isa::Reg;
+
+const char *
+toolName(ToolKind t)
+{
+    switch (t) {
+      case ToolKind::Perfex: return "perfex";
+      case ToolKind::Pfmon: return "pfmon";
+      case ToolKind::Papiex: return "papiex";
+    }
+    return "?";
+}
+
+Interface
+toolInterface(ToolKind t)
+{
+    switch (t) {
+      case ToolKind::Perfex: return Interface::Pc;
+      case ToolKind::Pfmon: return Interface::Pm;
+      case ToolKind::Papiex: return Interface::PLpm;
+    }
+    pca_panic("unknown tool");
+}
+
+namespace
+{
+
+/**
+ * Emit a phase of @p instructions as a compact counted loop (so the
+ * program stays small and the interpreter can fast-forward it).
+ * The loop body is 20 work instructions + 3 loop-control
+ * instructions; a remainder of straight-line work pads to the exact
+ * count. Clobbers EDX.
+ */
+void
+emitBulkWork(Assembler &a, Count instructions)
+{
+    constexpr Count body_work = 20;
+    constexpr Count per_iter = body_work + 3; // add, cmp, jne
+    const Count iters = instructions / per_iter;
+    Count remainder = instructions - iters * per_iter;
+    if (iters > 0) {
+        --remainder; // the initial movImm
+        a.movImm(Reg::Edx, 0);
+        int loop = a.label();
+        a.work(static_cast<int>(body_work))
+            .addImm(Reg::Edx, 1)
+            .cmpImm(Reg::Edx, static_cast<std::int64_t>(iters))
+            .jne(loop);
+    }
+    a.work(static_cast<int>(remainder));
+}
+
+} // namespace
+
+Measurement
+measureProcessWithTool(const ToolConfig &cfg,
+                       const MicroBenchmark &bench)
+{
+    MachineConfig mc;
+    mc.processor = cfg.processor;
+    mc.iface = toolInterface(cfg.tool);
+    mc.seed = cfg.seed;
+    mc.interruptsEnabled = cfg.interruptsEnabled;
+    Machine machine(mc);
+
+    ApiConfig acfg;
+    acfg.events = {cpu::EventType::InstrRetired};
+    acfg.pl = toPlMask(cfg.mode);
+    acfg.tsc = true;
+    auto api = makeCounterApi(machine, acfg);
+
+    CaptureSink s1;
+    Assembler a("main");
+
+    // The tool's own startup (argument parsing, event lookup).
+    a.push(Reg::Ebp).work(600);
+    api->emitSetup(a);
+
+    // fork + counter start in the parent, then execve: from here on
+    // everything the child does is measured.
+    api->emitStart(a);
+
+    // --- measured window: the whole child process ---
+    // execve + ld.so + libc init.
+    emitBulkWork(a, cfg.startupInstructions);
+    // The benchmark itself ("main()").
+    bench.emit(a);
+    // exit(): atexit handlers, stdio teardown, _exit.
+    emitBulkWork(a, cfg.teardownInstructions);
+    // --- end of child process: the tool reads the counts ---
+
+    api->emitRead(a, &s1);
+    a.work(200).pop(Reg::Ebp).halt();
+
+    machine.addUserBlock(a.take());
+    machine.finalize();
+
+    Measurement m;
+    m.run = machine.run("main");
+    m.c0 = 0;
+    m.c1 = s1.primary();
+    m.c1All = s1.values;
+    m.tsc1 = s1.tsc;
+    if (cfg.mode != CountingMode::Kernel)
+        m.expected = bench.expectedInstructions();
+    return m;
+}
+
+} // namespace pca::harness

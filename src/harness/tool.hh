@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Standalone command-line measurement tools.
+ *
+ * Each infrastructure ships a tool that measures a whole process:
+ * perfex (perfctr), pfmon (perfmon2), and papiex (PAPI). Korn et al.
+ * found — and §9 of the paper confirms for all three tools — that
+ * such process-level measurement produces enormous errors for
+ * micro-benchmarks (over 60000% in some cases), because the
+ * measurement includes process startup: loading, dynamic linking,
+ * and libc initialization all run with the counters live.
+ *
+ * This module simulates that usage model: the tool programs the
+ * counters, "execs" the benchmark binary (running a realistic loader
+ * + runtime-init phase inside the measured window), and reads the
+ * counters after the process exits.
+ */
+
+#ifndef PCA_HARNESS_TOOL_HH
+#define PCA_HARNESS_TOOL_HH
+
+#include "harness/harness.hh"
+#include "harness/microbench.hh"
+
+namespace pca::harness
+{
+
+/** The three standalone tools of §9. */
+enum class ToolKind
+{
+    Perfex, //!< perfex, included with perfctr
+    Pfmon,  //!< pfmon, part of perfmon2
+    Papiex, //!< papiex, available for PAPI
+};
+
+const char *toolName(ToolKind t);
+
+/** Interface a tool drives under the hood. */
+Interface toolInterface(ToolKind t);
+
+/** Configuration of a whole-process tool measurement. */
+struct ToolConfig
+{
+    cpu::Processor processor = cpu::Processor::Core2Duo;
+    ToolKind tool = ToolKind::Perfex;
+    CountingMode mode = CountingMode::UserKernel;
+    std::uint64_t seed = 1;
+    bool interruptsEnabled = true;
+
+    /**
+     * Instructions of process startup (execve, ld.so relocation
+     * processing, libc init) executed inside the measured window.
+     * Default approximates a dynamically linked 2007-era binary.
+     */
+    Count startupInstructions = 1'400'000;
+
+    /** Instructions of process teardown before the final read. */
+    Count teardownInstructions = 90'000;
+};
+
+/**
+ * Run @p bench the way the standalone tools do: counters started in
+ * the parent before exec, read after process exit. The returned
+ * Measurement's error() therefore contains the entire process
+ * startup and teardown — the §9 effect.
+ */
+Measurement measureProcessWithTool(const ToolConfig &cfg,
+                                   const MicroBenchmark &bench);
+
+} // namespace pca::harness
+
+#endif // PCA_HARNESS_TOOL_HH

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Interface host callbacks (Opcode::HostOp) use to touch simulated
+ * architectural state.
+ */
+
+#ifndef PCA_ISA_CONTEXT_HH
+#define PCA_ISA_CONTEXT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "isa/inst.hh"
+
+namespace pca::isa
+{
+
+/**
+ * Narrow view of the executing core offered to HostOp callbacks.
+ *
+ * Host callbacks are the simulator's data-plumbing escape hatch: the
+ * kernel's syscall dispatch, copying counter values into the harness,
+ * and similar stateful work. They carry no architectural cost; the
+ * instructions around them model the cost.
+ */
+class CpuContext
+{
+  public:
+    virtual ~CpuContext() = default;
+
+    /** Read a general-purpose register. */
+    virtual std::uint64_t getReg(Reg r) const = 0;
+
+    /** Write a general-purpose register. */
+    virtual void setReg(Reg r, std::uint64_t v) = 0;
+
+    /** Redirect execution to the entry of the named block. */
+    virtual void jumpTo(const std::string &symbol) = 0;
+
+    /** Current privilege mode. */
+    virtual Mode mode() const = 0;
+
+    /** Core cycle counter (for kernel bookkeeping like jiffies). */
+    virtual Cycles cycles() const = 0;
+};
+
+} // namespace pca::isa
+
+#endif // PCA_ISA_CONTEXT_HH

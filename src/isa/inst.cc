@@ -1,0 +1,131 @@
+#include "isa/inst.hh"
+
+#include "support/logging.hh"
+
+namespace pca::isa
+{
+
+const char *
+regName(Reg r)
+{
+    switch (r) {
+      case Reg::Eax: return "eax";
+      case Reg::Ebx: return "ebx";
+      case Reg::Ecx: return "ecx";
+      case Reg::Edx: return "edx";
+      case Reg::Esi: return "esi";
+      case Reg::Edi: return "edi";
+      case Reg::Ebp: return "ebp";
+      case Reg::Esp: return "esp";
+      default: return "?";
+    }
+}
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::MovImm: return "mov_imm";
+      case Opcode::MovReg: return "mov";
+      case Opcode::AddImm: return "add_imm";
+      case Opcode::AddReg: return "add";
+      case Opcode::SubImm: return "sub_imm";
+      case Opcode::SubReg: return "sub";
+      case Opcode::CmpImm: return "cmp_imm";
+      case Opcode::CmpReg: return "cmp";
+      case Opcode::TestReg: return "test";
+      case Opcode::XorReg: return "xor";
+      case Opcode::AndImm: return "and_imm";
+      case Opcode::OrReg: return "or";
+      case Opcode::ShlImm: return "shl";
+      case Opcode::ShrImm: return "shr";
+      case Opcode::Load: return "load";
+      case Opcode::Store: return "store";
+      case Opcode::Push: return "push";
+      case Opcode::Pop: return "pop";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Je: return "je";
+      case Opcode::Jne: return "jne";
+      case Opcode::Jl: return "jl";
+      case Opcode::Jge: return "jge";
+      case Opcode::Call: return "call";
+      case Opcode::Ret: return "ret";
+      case Opcode::Rdtsc: return "rdtsc";
+      case Opcode::Rdpmc: return "rdpmc";
+      case Opcode::Rdmsr: return "rdmsr";
+      case Opcode::Wrmsr: return "wrmsr";
+      case Opcode::Syscall: return "syscall";
+      case Opcode::Iret: return "iret";
+      case Opcode::Nop: return "nop";
+      case Opcode::Cpuid: return "cpuid";
+      case Opcode::Halt: return "halt";
+      case Opcode::HostOp: return "hostop";
+      default: return "?";
+    }
+}
+
+bool
+isBranch(Opcode op)
+{
+    switch (op) {
+      case Opcode::Jmp:
+      case Opcode::Je:
+      case Opcode::Jne:
+      case Opcode::Jl:
+      case Opcode::Jge:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return isBranch(op) && op != Opcode::Jmp;
+}
+
+int
+defaultSize(Opcode op)
+{
+    switch (op) {
+      case Opcode::MovImm: return 5;   // mov r32, imm32
+      case Opcode::MovReg: return 2;
+      case Opcode::AddImm: return 3;   // add r32, imm8
+      case Opcode::AddReg: return 2;
+      case Opcode::SubImm: return 3;
+      case Opcode::SubReg: return 2;
+      case Opcode::CmpImm: return 5;   // cmp r32, imm32 (paper's loop)
+      case Opcode::CmpReg: return 2;
+      case Opcode::TestReg: return 2;
+      case Opcode::XorReg: return 2;
+      case Opcode::AndImm: return 3;
+      case Opcode::OrReg: return 2;
+      case Opcode::ShlImm: return 3;
+      case Opcode::ShrImm: return 3;
+      case Opcode::Load: return 3;
+      case Opcode::Store: return 3;
+      case Opcode::Push: return 1;
+      case Opcode::Pop: return 1;
+      case Opcode::Jmp: return 2;
+      case Opcode::Je: return 2;
+      case Opcode::Jne: return 2;      // jne rel8 (paper's loop)
+      case Opcode::Jl: return 2;
+      case Opcode::Jge: return 2;
+      case Opcode::Call: return 5;
+      case Opcode::Ret: return 1;
+      case Opcode::Rdtsc: return 2;
+      case Opcode::Rdpmc: return 2;
+      case Opcode::Rdmsr: return 2;
+      case Opcode::Wrmsr: return 2;
+      case Opcode::Syscall: return 2;  // int 0x80 / sysenter
+      case Opcode::Iret: return 1;
+      case Opcode::Nop: return 1;
+      case Opcode::Cpuid: return 2;
+      case Opcode::Halt: return 1;
+      case Opcode::HostOp: return 0;   // meta: occupies no bytes
+      default: pca_panic("unknown opcode");
+    }
+}
+
+} // namespace pca::isa

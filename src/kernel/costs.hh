@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Instruction-count cost model for kernel code paths.
+ *
+ * These constants size the work() blocks of the simulated kernel and
+ * its perfctr/perfmon2 extensions. They are the calibration knobs
+ * that place the null-benchmark error medians near the paper's
+ * Table 3 (see DESIGN.md §5); each is scaled by the per-processor
+ * MicroArch::kernelCostScale when blocks are emitted.
+ *
+ * The *Pre / *Post split encodes where in a handler the counters
+ * start/stop counting or get sampled: work before the
+ * enable/capture point is invisible to the measurement, work after
+ * it is measured error. These split points are what make pattern
+ * choice matter (Table 3's "best pattern" differs per tool).
+ */
+
+#ifndef PCA_KERNEL_COSTS_HH
+#define PCA_KERNEL_COSTS_HH
+
+#include "cpu/microarch.hh"
+
+namespace pca::kernel
+{
+
+/** Kernel path lengths, in instructions at scale 1.0. */
+struct KernelCosts
+{
+    // Generic trap paths.
+    int syscallEntryWork = 55;
+    int syscallExitWork = 45;
+    int intEntryWork = 60;
+    int intExitWork = 30;
+
+    // Context switch (preemption by a kernel thread).
+    int ctxswOutWork = 150;
+    int ctxswInWork = 160;
+    int ioHandlerWork = 800;
+
+    // perfctr kernel extension (vperfctr_* syscalls).
+    int pcControlPre = 260;   //!< control work before counters enable
+    int pcControlPerCtr = 18; //!< per-counter setup (pre-enable)
+    int pcControlPost = 75;   //!< after enable: measured tail
+    int pcSlowReadPre = 620;  //!< syscall read: before sampling
+    int pcSlowReadPerCtr = 45;
+    int pcSlowReadPost = 560; //!< after sampling: measured tail
+    int pcStopPre = 95;       //!< until counters disabled: measured
+    int pcStopPost = 180;
+    int pcOpenWork = 900;
+
+    // perfmon2 kernel extension (pfm_* syscalls).
+    int pmCreateWork = 800;
+    int pmWritePmcsWork = 300;
+    int pmWritePmdsWork = 220;
+    int pmStartPre = 60;      //!< before PMD0 enable (invisible)
+    int pmStartPerCtr = 14;
+    int pmStartPost = 260;    //!< after enable: measured tail
+    int pmStopPre = 470;       //!< until PMD0 disabled: measured
+    int pmStopPost = 160;
+    int pmReadPre = 250;      //!< before the PMD copy loop
+    int pmReadPerCtr = 135;   //!< per-PMD copy (Fig 5's slope)
+    int pmReadPost = 180;     //!< after sampling: measured tail
+
+    /** Scale a path length for a given processor. */
+    int
+    scaled(int base, const cpu::MicroArch &arch) const
+    {
+        return static_cast<int>(base * arch.kernelCostScale + 0.5);
+    }
+};
+
+} // namespace pca::kernel
+
+#endif // PCA_KERNEL_COSTS_HH

@@ -1,0 +1,51 @@
+#include "kernel/interrupts.hh"
+
+#include <algorithm>
+
+namespace pca::kernel
+{
+
+InterruptController::InterruptController(Cycles timer_period,
+                                         Cycles io_mean_interval,
+                                         std::uint64_t seed)
+    : rng(seed), timerPeriod(timer_period),
+      ioMeanInterval(io_mean_interval)
+{
+    if (timerPeriod > 0) {
+        // Random phase: measurements start anywhere in a tick period.
+        nextTimer = rng.nextBelow(timerPeriod) + 1;
+    }
+    if (ioMeanInterval > 0) {
+        nextIo = static_cast<Cycles>(
+            rng.nextExponential(static_cast<double>(ioMeanInterval)))
+            + 1;
+    }
+}
+
+Cycles
+InterruptController::nextInterruptCycle() const
+{
+    return std::min(nextTimer, nextIo);
+}
+
+int
+InterruptController::pollInterrupt(Cycles now)
+{
+    if (nextTimer <= now && nextTimer <= nextIo) {
+        // One tick per delivery; skip ticks lost to long kernel
+        // sections (the real kernel's lost-tick accounting).
+        while (nextTimer <= now)
+            nextTimer += timerPeriod;
+        ++timerCount;
+        return VecTimer;
+    }
+    if (nextIo <= now) {
+        nextIo = now + static_cast<Cycles>(rng.nextExponential(
+                     static_cast<double>(ioMeanInterval))) + 1;
+        ++ioCount;
+        return VecIo;
+    }
+    return -1;
+}
+
+} // namespace pca::kernel

@@ -1,0 +1,228 @@
+#include "kernel/kernel.hh"
+
+#include "isa/assembler.hh"
+#include "support/logging.hh"
+
+namespace pca::kernel
+{
+
+using isa::Assembler;
+using isa::CpuContext;
+using isa::Reg;
+
+namespace
+{
+
+/** Mean cycles between I/O interrupts (~40 ms: rare). */
+Cycles
+ioMeanCycles(const cpu::MicroArch &arch)
+{
+    return static_cast<Cycles>(arch.ghz * 1e9 * 0.040);
+}
+
+} // namespace
+
+Kernel::Kernel(const cpu::MicroArch &arch, std::uint64_t seed,
+               bool enable_io_interrupts)
+    : archRef(arch),
+      schedRng(mixSeed(seed, 0x5eedULL)),
+      intCtrl(arch.timerPeriodCycles(),
+              enable_io_interrupts ? ioMeanCycles(arch) : 0,
+              mixSeed(seed, 0x1234ULL))
+{
+}
+
+void
+Kernel::addModule(KernelModule *mod)
+{
+    pca_assert(!built);
+    pca_assert(mod != nullptr);
+    modules.push_back(mod);
+}
+
+void
+Kernel::registerSyscall(int nr, const std::string &block_name)
+{
+    if (syscallTable.count(nr))
+        pca_panic("syscall ", nr, " registered twice");
+    syscallTable[nr] = block_name;
+}
+
+void
+Kernel::dispatchSyscall(CpuContext &ctx)
+{
+    const auto nr = static_cast<int>(ctx.getReg(Reg::Eax));
+    auto it = syscallTable.find(nr);
+    if (it == syscallTable.end())
+        pca_panic("unknown syscall ", nr);
+    ctx.jumpTo(it->second);
+}
+
+void
+Kernel::dispatchInterrupt(CpuContext &ctx)
+{
+    pca_assert(attachedCore);
+    const int vec = attachedCore->currentVector();
+    if (vec == VecTimer)
+        ctx.jumpTo("k_timer");
+    else if (vec == VecIo)
+        ctx.jumpTo("k_io");
+    else if (vec == VecPmi)
+        ctx.jumpTo("k_pmi");
+    else
+        pca_panic("interrupt dispatch with no active vector");
+}
+
+void
+Kernel::decidePreemption(CpuContext &ctx)
+{
+    // Per-tick module bookkeeping (e.g. perfmon2 event-set
+    // multiplex switching) happens in the tick path.
+    pca_assert(attachedCore);
+    for (KernelModule *m : modules)
+        m->onTick(*attachedCore);
+    if (schedRng.nextBool(preemptProb)) {
+        // Give the kernel thread a short timeslice.
+        ctx.setReg(Reg::Ecx, 500 + schedRng.nextBelow(2500));
+        ctx.jumpTo("k_preempt");
+    } else {
+        ctx.jumpTo("k_int_exit");
+    }
+}
+
+void
+Kernel::doSwitchOut(CpuContext &ctx)
+{
+    pca_assert(attachedCore);
+    ++ctxswCount;
+    for (KernelModule *m : modules)
+        m->onSwitchOut(*attachedCore);
+    (void)ctx;
+}
+
+void
+Kernel::doSwitchIn(CpuContext &ctx)
+{
+    pca_assert(attachedCore);
+    for (KernelModule *m : modules)
+        m->onSwitchIn(*attachedCore);
+    (void)ctx;
+}
+
+void
+Kernel::buildInto(isa::Program &prog)
+{
+    pca_assert(!built);
+    const KernelCosts &kc = kcosts;
+    auto scaled = [&](int n) { return kc.scaled(n, archRef); };
+
+    {
+        Assembler a("k_syscall_entry");
+        a.push(Reg::Ebp)
+            .push(Reg::Ebx)
+            .push(Reg::Esi)
+            .push(Reg::Edi)
+            .work(scaled(kc.syscallEntryWork) - 4)
+            .host([this](CpuContext &ctx) { dispatchSyscall(ctx); });
+        prog.add(a.take());
+    }
+    {
+        Assembler a("k_sysexit");
+        a.work(scaled(kc.syscallExitWork) - 4)
+            .pop(Reg::Edi)
+            .pop(Reg::Esi)
+            .pop(Reg::Ebx)
+            .pop(Reg::Ebp)
+            .iret();
+        prog.add(a.take());
+    }
+    {
+        Assembler a("k_int_entry");
+        a.push(Reg::Eax)
+            .push(Reg::Ecx)
+            .push(Reg::Edx)
+            .work(scaled(kc.intEntryWork) - 3)
+            .host([this](CpuContext &ctx) { dispatchInterrupt(ctx); });
+        prog.add(a.take());
+    }
+    {
+        Assembler a("k_int_exit");
+        a.work(scaled(kc.intExitWork) - 3)
+            .pop(Reg::Edx)
+            .pop(Reg::Ecx)
+            .pop(Reg::Eax)
+            .iret();
+        prog.add(a.take());
+    }
+    {
+        int tick_extra = 0;
+        for (KernelModule *m : modules)
+            tick_extra += m->tickExtraInstrs();
+        Assembler a("k_timer");
+        // timerHandlerInstrs is already per-arch; no extra scaling.
+        a.work(archRef.timerHandlerInstrs + tick_extra)
+            .host([this](CpuContext &ctx) { decidePreemption(ctx); });
+        prog.add(a.take());
+    }
+    {
+        Assembler a("k_pmi");
+        // PMI handler: acknowledge the overflow, hand it to the
+        // extension that armed the counter (sample recording).
+        a.work(scaled(160)).host([this](CpuContext &ctx) {
+            pca_assert(attachedCore);
+            for (KernelModule *m : modules)
+                m->onPmi(*attachedCore);
+            ctx.jumpTo("k_int_exit");
+        });
+        prog.add(a.take());
+    }
+    {
+        Assembler a("k_io");
+        a.work(scaled(kc.ioHandlerWork))
+            .host([](CpuContext &ctx) { ctx.jumpTo("k_int_exit"); });
+        prog.add(a.take());
+    }
+    {
+        Assembler a("k_preempt");
+        a.work(scaled(kc.ctxswOutWork) * 3 / 5)
+            .host([this](CpuContext &ctx) { doSwitchOut(ctx); })
+            .work(scaled(kc.ctxswOutWork) * 2 / 5);
+        // Kernel-thread timeslice: ecx iterations of bookkeeping.
+        a.movImm(Reg::Edx, 0);
+        int loop = a.label();
+        a.work(6)
+            .addImm(Reg::Edx, 1)
+            .cmpReg(Reg::Edx, Reg::Ecx)
+            .jl(loop);
+        a.work(scaled(kc.ctxswInWork) / 2)
+            .host([this](CpuContext &ctx) { doSwitchIn(ctx); })
+            .work(scaled(kc.ctxswInWork) / 2)
+            .host([](CpuContext &ctx) { ctx.jumpTo("k_int_exit"); });
+        prog.add(a.take());
+    }
+    {
+        Assembler a("k_sys_getpid");
+        a.work(scaled(120)).host(
+            [](CpuContext &ctx) { ctx.jumpTo("k_sysexit"); });
+        prog.add(a.take());
+    }
+    registerSyscall(sysno::getpid, "k_sys_getpid");
+
+    for (KernelModule *m : modules)
+        m->buildBlocks(prog, *this);
+
+    builtProgram = &prog;
+    built = true;
+}
+
+void
+Kernel::attach(cpu::Core &core)
+{
+    pca_assert(built && builtProgram && builtProgram->linked());
+    attachedCore = &core;
+    core.setSyscallEntry(builtProgram->entry("k_syscall_entry"));
+    core.setInterruptEntry(builtProgram->entry("k_int_entry"));
+    core.setInterruptClient(&intCtrl);
+}
+
+} // namespace pca::kernel

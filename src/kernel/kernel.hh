@@ -1,0 +1,115 @@
+/**
+ * @file
+ * The simulated operating system kernel: trap entry/exit paths,
+ * syscall dispatch, the timer tick with optional preemption by a
+ * kernel thread, and loadable kernel extensions (perfctr, perfmon2).
+ */
+
+#ifndef PCA_KERNEL_KERNEL_HH
+#define PCA_KERNEL_KERNEL_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/core.hh"
+#include "isa/program.hh"
+#include "kernel/costs.hh"
+#include "kernel/interrupts.hh"
+#include "kernel/module.hh"
+#include "support/random.hh"
+
+namespace pca::kernel
+{
+
+/** Well-known syscall numbers. */
+namespace sysno
+{
+constexpr int getpid = 20;
+// perfctr extension.
+constexpr int vperfctrOpen = 300;
+constexpr int vperfctrControl = 301;
+constexpr int vperfctrRead = 302;
+constexpr int vperfctrStop = 303;
+// perfmon2 extension.
+constexpr int pfmCreate = 350;
+constexpr int pfmWritePmcs = 351;
+constexpr int pfmWritePmds = 352;
+constexpr int pfmStart = 353;
+constexpr int pfmStop = 354;
+constexpr int pfmReadPmds = 355;
+// perfmon2 event-set multiplexing (PFM_CREATE_EVTSETS family).
+constexpr int pfmCreateEvtsets = 356;
+constexpr int pfmStartMpx = 357;
+constexpr int pfmReadMpx = 358;
+constexpr int pfmStopMpx = 359;
+constexpr int pfmSetSmpl = 360;
+} // namespace sysno
+
+/**
+ * A Linux-2.6.22-like kernel for one core.
+ *
+ * Usage (normally done by harness::Machine):
+ *  1. construct, addModule() the extensions;
+ *  2. buildInto(program) before linking (emits kernel code blocks);
+ *  3. link the program;
+ *  4. attach(core) to install trap entries and the interrupt source.
+ */
+class Kernel
+{
+  public:
+    /**
+     * @param arch processor descriptor (scales kernel path lengths)
+     * @param seed RNG stream for interrupt phases and scheduling
+     * @param enable_io_interrupts model rare disk/net interrupts
+     */
+    Kernel(const cpu::MicroArch &arch, std::uint64_t seed,
+           bool enable_io_interrupts = true);
+
+    /** Register a kernel extension (before buildInto). */
+    void addModule(KernelModule *mod);
+
+    /** Emit kernel code blocks into @p prog (before linking). */
+    void buildInto(isa::Program &prog);
+
+    /** Install trap entries + interrupt client (after linking). */
+    void attach(cpu::Core &core);
+
+    /** Map a syscall number to a handler block (module API). */
+    void registerSyscall(int nr, const std::string &block_name);
+
+    const KernelCosts &costs() const { return kcosts; }
+    const cpu::MicroArch &arch() const { return archRef; }
+
+    /** Probability a timer tick preempts the measured thread. */
+    void setPreemptProbability(double p) { preemptProb = p; }
+
+    InterruptController &interrupts() { return intCtrl; }
+
+    /** Number of context switches the measured thread suffered. */
+    Count contextSwitches() const { return ctxswCount; }
+
+  private:
+    void dispatchSyscall(isa::CpuContext &ctx);
+    void dispatchInterrupt(isa::CpuContext &ctx);
+    void decidePreemption(isa::CpuContext &ctx);
+    void doSwitchOut(isa::CpuContext &ctx);
+    void doSwitchIn(isa::CpuContext &ctx);
+
+    const cpu::MicroArch &archRef;
+    KernelCosts kcosts;
+    Rng schedRng;
+    InterruptController intCtrl;
+    std::vector<KernelModule *> modules;
+    std::map<int, std::string> syscallTable;
+    cpu::Core *attachedCore = nullptr;
+    isa::Program *builtProgram = nullptr;
+    double preemptProb = 0.015;
+    Count ctxswCount = 0;
+    bool built = false;
+};
+
+} // namespace pca::kernel
+
+#endif // PCA_KERNEL_KERNEL_HH

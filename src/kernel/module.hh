@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Kernel extension interface. perfctr and perfmon2 are loadable
+ * kernel extensions in the paper's setup (patched 2.6.22 kernels);
+ * here they are KernelModules that contribute syscall handler blocks
+ * and context-switch hooks.
+ */
+
+#ifndef PCA_KERNEL_MODULE_HH
+#define PCA_KERNEL_MODULE_HH
+
+#include "cpu/core.hh"
+#include "isa/program.hh"
+
+namespace pca::kernel
+{
+
+class Kernel;
+
+/** A kernel extension (perfctr or perfmon2). */
+class KernelModule
+{
+  public:
+    virtual ~KernelModule() = default;
+
+    /** Short name for diagnostics. */
+    virtual const char *name() const = 0;
+
+    /**
+     * Emit this module's handler blocks into the program and
+     * register their syscall numbers with the kernel. Called once
+     * while the kernel builds its own blocks.
+     */
+    virtual void buildBlocks(isa::Program &prog, Kernel &kernel) = 0;
+
+    /** Measured thread is being switched out (save/stop counters). */
+    virtual void onSwitchOut(cpu::Core &core) { (void)core; }
+
+    /** Measured thread is being switched back in. */
+    virtual void onSwitchIn(cpu::Core &core) { (void)core; }
+
+    /**
+     * Timer tick while the measured thread runs (per-thread
+     * bookkeeping, event-set multiplex switching). Instruction cost
+     * is modelled by tickExtraInstrs().
+     */
+    virtual void onTick(cpu::Core &core) { (void)core; }
+
+    /**
+     * Counter-overflow interrupt (sampling mode): record a sample
+     * for the counter in Core::overflowedCounter().
+     */
+    virtual void onPmi(cpu::Core &core) { (void)core; }
+
+    /**
+     * Extra instructions this module adds to every timer tick
+     * (per-thread counter bookkeeping in the tick path).
+     */
+    virtual int tickExtraInstrs() const { return 0; }
+};
+
+} // namespace pca::kernel
+
+#endif // PCA_KERNEL_MODULE_HH

@@ -1,0 +1,185 @@
+#include "kernel/perfevent_mod.hh"
+
+#include "cpu/pmu.hh"
+#include "isa/assembler.hh"
+#include "support/logging.hh"
+
+namespace pca::kernel
+{
+
+using cpu::Pmu;
+using isa::Assembler;
+using isa::CpuContext;
+using isa::Reg;
+
+namespace
+{
+
+cpu::Core &
+coreOf(CpuContext &ctx)
+{
+    auto *core = dynamic_cast<cpu::Core *>(&ctx);
+    pca_assert(core != nullptr);
+    return *core;
+}
+
+} // namespace
+
+PerfEventModule::PerfEventModule(const cpu::MicroArch &arch)
+    : archRef(arch)
+{
+}
+
+void
+PerfEventModule::buildBlocks(isa::Program &prog, Kernel &kernel)
+{
+    kc = &kernel.costs();
+    auto scaled = [&](int n) { return kc->scaled(n, archRef); };
+
+    // --- perf_event_open: allocate a counter and an fd. The call is
+    // heavyweight (attr validation, context allocation, mmap setup),
+    // true to its reputation. Counting starts disabled. ---
+    {
+        Assembler a("pe_sys_open");
+        a.work(scaled(1100));
+        a.host([this](CpuContext &ctx) {
+            const int idx = static_cast<int>(fds.size());
+            if (idx >= archRef.progCounters)
+                pca_panic("perf_event_open: out of counters");
+            PerfEventFd f;
+            f.event = pendingEvent;
+            f.pl = pendingPl;
+            f.counter = idx;
+            fds.push_back(f);
+            cpu::Core &core = coreOf(ctx);
+            core.pmu().wrmsr(Pmu::msrPmcBase +
+                                 static_cast<std::uint32_t>(idx),
+                             0);
+            core.pmu().wrmsr(
+                Pmu::msrEvtSelBase + static_cast<std::uint32_t>(idx),
+                Pmu::encodeEvtSel(f.event, f.pl, false));
+            // rdpmc from user space for the mmap self-monitoring
+            // page (perf's cap_user_rdpmc).
+            core.allowUserRdpmc(true);
+            ctx.setReg(Reg::Eax, static_cast<std::uint64_t>(idx));
+            ctx.jumpTo("k_sysexit");
+        });
+        prog.add(a.take());
+    }
+
+    // --- ioctl(PERF_EVENT_IOC_ENABLE, GROUP): enable everything.
+    // The fd-0 counter is enabled last (the group leader's enable
+    // commits the group), keeping the measured tail small. ---
+    {
+        Assembler a("pe_sys_ioctl_enable");
+        a.work(scaled(140));
+        a.host([this](CpuContext &ctx) {
+            ctx.setReg(Reg::Edx, fds.size());
+        });
+        int loop = a.label();
+        a.subImm(Reg::Edx, 1);
+        a.work(6);
+        a.host([this](CpuContext &ctx) {
+            const auto i = ctx.getReg(Reg::Edx);
+            fds.at(i).enabled = true;
+            ctx.setReg(Reg::Ecx, Pmu::msrEvtSelBase + i);
+            ctx.setReg(Reg::Eax,
+                       Pmu::encodeEvtSel(fds.at(i).event,
+                                         fds.at(i).pl, true));
+        });
+        a.wrmsr();
+        a.cmpImm(Reg::Edx, 0);
+        a.jne(loop);
+        a.work(scaled(60));
+        a.host([](CpuContext &ctx) { ctx.jumpTo("k_sysexit"); });
+        prog.add(a.take());
+    }
+
+    // --- ioctl(PERF_EVENT_IOC_DISABLE, GROUP): fd 0 first. ---
+    {
+        Assembler a("pe_sys_ioctl_disable");
+        a.work(scaled(110));
+        a.host([this](CpuContext &ctx) {
+            ctx.setReg(Reg::Edx, 0);
+            ctx.setReg(Reg::Esi, fds.size());
+        });
+        int loop = a.label();
+        a.host([this](CpuContext &ctx) {
+            const auto i = ctx.getReg(Reg::Edx);
+            fds.at(i).enabled = false;
+            ++fds.at(i).mmapSeq; // seqlock bump: page update
+            ctx.setReg(Reg::Ecx, Pmu::msrEvtSelBase + i);
+            ctx.setReg(Reg::Eax,
+                       Pmu::encodeEvtSel(fds.at(i).event,
+                                         fds.at(i).pl, false));
+        });
+        a.wrmsr();
+        a.work(4);
+        a.addImm(Reg::Edx, 1);
+        a.cmpReg(Reg::Edx, Reg::Esi);
+        a.jl(loop);
+        a.work(scaled(130));
+        a.host([](CpuContext &ctx) { ctx.jumpTo("k_sysexit"); });
+        prog.add(a.take());
+    }
+
+    // --- read(fd): copy ONE counter value to user space. Modern
+    // perf has no batch read for independent fds: every extra event
+    // costs a whole syscall. ---
+    {
+        Assembler a("pe_sys_read");
+        a.work(scaled(210)); // vfs path + perf_read
+        a.host([this](CpuContext &ctx) {
+            pca_assert(argFd >= 0 &&
+                       argFd < static_cast<int>(fds.size()));
+            readValue = coreOf(ctx).pmu().rdpmc(
+                static_cast<std::uint64_t>(
+                    fds[static_cast<std::size_t>(argFd)].counter));
+        });
+        a.work(scaled(140));
+        a.host([](CpuContext &ctx) { ctx.jumpTo("k_sysexit"); });
+        prog.add(a.take());
+    }
+
+    kernel.registerSyscall(sysno_pe::perfEventOpen, "pe_sys_open");
+    kernel.registerSyscall(sysno_pe::ioctlEnable,
+                           "pe_sys_ioctl_enable");
+    kernel.registerSyscall(sysno_pe::ioctlDisable,
+                           "pe_sys_ioctl_disable");
+    kernel.registerSyscall(sysno_pe::readFd, "pe_sys_read");
+}
+
+void
+PerfEventModule::onSwitchOut(cpu::Core &core)
+{
+    suspendedEnables.assign(fds.size(), false);
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+        suspendedEnables[i] = fds[i].enabled &&
+            core.pmu()
+                .progCounter(fds[i].counter)
+                .enabled;
+        if (suspendedEnables[i]) {
+            core.pmu().wrmsr(
+                Pmu::msrEvtSelBase +
+                    static_cast<std::uint32_t>(fds[i].counter),
+                Pmu::encodeEvtSel(fds[i].event, fds[i].pl, false));
+            ++fds[i].mmapSeq;
+        }
+    }
+}
+
+void
+PerfEventModule::onSwitchIn(cpu::Core &core)
+{
+    for (std::size_t i = 0; i < fds.size(); ++i) {
+        if (i < suspendedEnables.size() && suspendedEnables[i]) {
+            core.pmu().wrmsr(
+                Pmu::msrEvtSelBase +
+                    static_cast<std::uint32_t>(fds[i].counter),
+                Pmu::encodeEvtSel(fds[i].event, fds[i].pl, true));
+            ++fds[i].mmapSeq;
+        }
+    }
+}
+
+} // namespace pca::kernel

@@ -1,0 +1,227 @@
+#include "papi/papi.hh"
+
+#include "support/logging.hh"
+
+namespace pca::papi
+{
+
+using isa::Assembler;
+using isa::Reg;
+
+namespace
+{
+
+// PAPI user-space path lengths, in instructions. The low-level
+// wrapper covers event-set lookup, argument validation, and thread
+// state; the high-level wrapper adds its init-on-first-use state
+// machine. Calibrated against Table 3 of the paper (the ~100
+// instruction PL-over-direct and PH-over-PL gaps).
+// PAPI_start's wrapper is lean; PAPI_read's wrapper (event-set state
+// checks plus value accumulation into the caller's long long array)
+// is much heavier — which is why the paper's Table 3 finds start-read
+// beats read-read for the PAPI interfaces even where the direct
+// library prefers read-read.
+constexpr int lowStartPreWork = 35;
+constexpr int lowStartPostWork = 30;
+constexpr int lowReadPreWork = 75;
+constexpr int lowReadPostWork = 165;
+constexpr int highPreWork = 52;
+constexpr int highPostWork = 46;
+constexpr int libraryInitWork = 340;
+constexpr int createEventSetWork = 90;
+constexpr int addEventWork = 42;
+constexpr int setDomainWork = 26;
+
+} // namespace
+
+PapiLow::PapiLow(Substrate sub, cpu::Processor proc,
+                 perfmon::LibPfm *pfm, perfctr::LibPerfctr *pc)
+    : sub(sub), proc(proc), pfm(pfm), pc(pc)
+{
+    if (sub == Substrate::Perfmon)
+        pca_assert(pfm != nullptr);
+    else
+        pca_assert(pc != nullptr);
+}
+
+void
+PapiLow::emitWrapperPre(Assembler &a, int work) const
+{
+    a.push(Reg::Ebp).push(Reg::Ebx);
+    a.work(work - 2);
+}
+
+void
+PapiLow::emitWrapperPost(Assembler &a, int work) const
+{
+    a.work(work - 2);
+    a.pop(Reg::Ebx).pop(Reg::Ebp);
+}
+
+perfmon::PfmSpec
+PapiLow::pfmSpec() const
+{
+    perfmon::PfmSpec s;
+    for (Preset p : eventSet.events)
+        s.events.push_back(presetToNative(p, proc));
+    s.pl = eventSet.domain;
+    return s;
+}
+
+perfctr::ControlSpec
+PapiLow::pcSpec() const
+{
+    perfctr::ControlSpec s;
+    for (Preset p : eventSet.events)
+        s.events.push_back(presetToNative(p, proc));
+    s.pl = eventSet.domain;
+    // PAPI's perfctr component always maps the TSC: it relies on the
+    // fast user-mode read path.
+    s.tsc = true;
+    return s;
+}
+
+void
+PapiLow::emitLibraryInit(Assembler &a) const
+{
+    a.work(libraryInitWork);
+    if (sub == Substrate::Perfmon) {
+        pfm->emitInitialize(a);
+        pfm->emitCreateContext(a);
+    } else {
+        pc->emitOpen(a);
+    }
+}
+
+void
+PapiLow::emitCreateEventSet(Assembler &a, const PapiSpec &spec)
+{
+    pca_assert(!spec.events.empty());
+    eventSet = spec;
+    a.work(createEventSetWork);
+    // PAPI_add_event: preset -> native resolution per event.
+    a.work(addEventWork * static_cast<int>(spec.events.size()));
+    a.work(setDomainWork);
+    if (sub == Substrate::Perfmon) {
+        // perfmon programs PMCs at add/set time; start is separate.
+        pfm->emitWritePmcs(a, pfmSpec());
+    }
+    // The perfctr substrate defers programming to PAPI_start, whose
+    // control syscall resets + programs + starts in one step.
+}
+
+void
+PapiLow::emitStart(Assembler &a) const
+{
+    emitWrapperPre(a, lowStartPreWork);
+    if (sub == Substrate::Perfmon) {
+        pfm->emitWritePmds(a, pfmSpec()); // reset
+        pfm->emitStart(a);
+    } else {
+        pc->emitControl(a, pcSpec()); // reset + program + start
+    }
+    emitWrapperPost(a, lowStartPostWork);
+}
+
+void
+PapiLow::emitRead(Assembler &a, ReadCapture capture) const
+{
+    emitWrapperPre(a, lowReadPreWork);
+    if (sub == Substrate::Perfmon) {
+        pfm->emitRead(a, pfmSpec(),
+                      [capture](const std::vector<Count> &v) {
+                          capture(v);
+                      });
+    } else {
+        pc->emitRead(a, pcSpec(),
+                     [capture](const std::vector<Count> &v, Count) {
+                         capture(v);
+                     });
+    }
+    emitWrapperPost(a, lowReadPostWork);
+}
+
+void
+PapiLow::emitStopAndRead(Assembler &a, ReadCapture capture) const
+{
+    emitWrapperPre(a, lowReadPreWork);
+    if (sub == Substrate::Perfmon) {
+        pfm->emitStop(a);
+        pfm->emitRead(a, pfmSpec(),
+                      [capture](const std::vector<Count> &v) {
+                          capture(v);
+                      });
+    } else {
+        pc->emitStop(a);
+        pc->emitRead(a, pcSpec(),
+                     [capture](const std::vector<Count> &v, Count) {
+                         capture(v);
+                     });
+    }
+    emitWrapperPost(a, lowReadPostWork);
+}
+
+void
+PapiLow::emitReset(Assembler &a) const
+{
+    emitWrapperPre(a, lowStartPreWork);
+    if (sub == Substrate::Perfmon) {
+        pfm->emitWritePmds(a, pfmSpec());
+    } else {
+        pc->emitControl(a, pcSpec());
+    }
+    emitWrapperPost(a, lowStartPostWork);
+}
+
+PapiHigh::PapiHigh(PapiLow &low)
+    : low(low)
+{
+}
+
+void
+PapiHigh::emitHighPre(Assembler &a) const
+{
+    a.push(Reg::Esi);
+    a.work(highPreWork - 1);
+}
+
+void
+PapiHigh::emitHighPost(Assembler &a) const
+{
+    a.work(highPostWork - 1);
+    a.pop(Reg::Esi);
+}
+
+void
+PapiHigh::emitStartCounters(Assembler &a, const PapiSpec &spec)
+{
+    emitHighPre(a);
+    if (!initialized) {
+        low.emitLibraryInit(a);
+        initialized = true;
+    }
+    low.emitCreateEventSet(a, spec);
+    low.emitStart(a);
+    emitHighPost(a);
+}
+
+void
+PapiHigh::emitReadCounters(Assembler &a, ReadCapture capture)
+{
+    emitHighPre(a);
+    low.emitRead(a, std::move(capture));
+    // The high-level read resets the counters behind the caller's
+    // back — the paper's reason rr/ro are unusable with it.
+    low.emitReset(a);
+    emitHighPost(a);
+}
+
+void
+PapiHigh::emitStopCounters(Assembler &a, ReadCapture capture)
+{
+    emitHighPre(a);
+    low.emitStopAndRead(a, std::move(capture));
+    emitHighPost(a);
+}
+
+} // namespace pca::papi

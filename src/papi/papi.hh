@@ -1,0 +1,131 @@
+/**
+ * @file
+ * PAPI analogue: the low-level and high-level counter APIs, buildable
+ * on either substrate (libpfm/perfmon2 or libperfctr/perfctr), as in
+ * Figure 2 of the paper.
+ *
+ * The low-level API manages explicit event sets; the high-level API
+ * is the "almost no configuration" interface whose read implicitly
+ * resets the counters — which is why the read-read and read-stop
+ * patterns cannot be used with it (Section 3.5).
+ */
+
+#ifndef PCA_PAPI_PAPI_HH
+#define PCA_PAPI_PAPI_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "papi/papi_preset.hh"
+#include "perfctr/libperfctr.hh"
+#include "perfmon/libpfm.hh"
+#include "support/types.hh"
+
+namespace pca::papi
+{
+
+/** Which kernel extension this PAPI build sits on. */
+enum class Substrate
+{
+    Perfmon, //!< PAPI over libpfm / perfmon2
+    Perfctr, //!< PAPI over libperfctr / perfctr
+};
+
+/** PAPI_DOM_*: which privilege levels the event set counts. */
+using Domain = PlMask;
+
+/** An event-set specification. */
+struct PapiSpec
+{
+    std::vector<Preset> events; //!< slot 0 first
+    Domain domain = PlMask::UserKernel;
+};
+
+/** Callback receiving counter values at a read's capture point. */
+using ReadCapture =
+    std::function<void(const std::vector<Count> &values)>;
+
+/**
+ * The PAPI low-level API emitter.
+ *
+ * Exactly one of the substrate libraries must be supplied, matching
+ * @p sub. Instances are bound to one measurement program.
+ */
+class PapiLow
+{
+  public:
+    PapiLow(Substrate sub, cpu::Processor proc,
+            perfmon::LibPfm *pfm, perfctr::LibPerfctr *pc);
+
+    /** PAPI_library_init + substrate init. */
+    void emitLibraryInit(isa::Assembler &a) const;
+
+    /**
+     * PAPI_create_eventset + PAPI_add_event per event +
+     * PAPI_set_domain: resolves presets to native events and
+     * programs (but does not start) the substrate.
+     */
+    void emitCreateEventSet(isa::Assembler &a, const PapiSpec &spec);
+
+    /** PAPI_start: reset + start the event set. */
+    void emitStart(isa::Assembler &a) const;
+
+    /** PAPI_read: sample without disturbing the counters. */
+    void emitRead(isa::Assembler &a, ReadCapture capture) const;
+
+    /** PAPI_stop(values): stop and return the final counts. */
+    void emitStopAndRead(isa::Assembler &a, ReadCapture capture) const;
+
+    /** PAPI_reset: zero the event set's counters. */
+    void emitReset(isa::Assembler &a) const;
+
+    Substrate substrate() const { return sub; }
+    const PapiSpec &spec() const { return eventSet; }
+
+  private:
+    void emitWrapperPre(isa::Assembler &a, int work) const;
+    void emitWrapperPost(isa::Assembler &a, int work) const;
+    perfmon::PfmSpec pfmSpec() const;
+    perfctr::ControlSpec pcSpec() const;
+
+    Substrate sub;
+    cpu::Processor proc;
+    perfmon::LibPfm *pfm;
+    perfctr::LibPerfctr *pc;
+    PapiSpec eventSet;
+};
+
+/**
+ * The PAPI high-level API emitter: PAPI_start_counters /
+ * PAPI_read_counters / PAPI_stop_counters over a PapiLow instance.
+ */
+class PapiHigh
+{
+  public:
+    explicit PapiHigh(PapiLow &low);
+
+    /** PAPI_start_counters: init-on-first-use + create + start. */
+    void emitStartCounters(isa::Assembler &a, const PapiSpec &spec);
+
+    /**
+     * PAPI_read_counters: read *and reset*. Only usable as the
+     * final read of a measurement (hence no read-read/read-stop).
+     */
+    void emitReadCounters(isa::Assembler &a, ReadCapture capture);
+
+    /** PAPI_stop_counters(values). */
+    void emitStopCounters(isa::Assembler &a, ReadCapture capture);
+
+  private:
+    void emitHighPre(isa::Assembler &a) const;
+    void emitHighPost(isa::Assembler &a) const;
+
+    PapiLow &low;
+    bool initialized = false;
+};
+
+} // namespace pca::papi
+
+#endif // PCA_PAPI_PAPI_HH

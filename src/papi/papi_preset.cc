@@ -1,0 +1,107 @@
+#include "papi/papi_preset.hh"
+
+#include "support/logging.hh"
+
+namespace pca::papi
+{
+
+using cpu::EventType;
+using cpu::Processor;
+
+const char *
+presetName(Preset p)
+{
+    switch (p) {
+      case Preset::TotIns: return "PAPI_TOT_INS";
+      case Preset::TotCyc: return "PAPI_TOT_CYC";
+      case Preset::BrIns: return "PAPI_BR_INS";
+      case Preset::BrMsp: return "PAPI_BR_MSP";
+      case Preset::L1Icm: return "PAPI_L1_ICM";
+      case Preset::TlbIm: return "PAPI_TLB_IM";
+      case Preset::HwInt: return "PAPI_HW_INT";
+      case Preset::L1Dca: return "PAPI_L1_DCA";
+    }
+    return "?";
+}
+
+cpu::EventType
+presetToNative(Preset p, Processor proc)
+{
+    (void)proc; // the simulated PMUs share one event encoding
+    switch (p) {
+      case Preset::TotIns: return EventType::InstrRetired;
+      case Preset::TotCyc: return EventType::CpuClkUnhalted;
+      case Preset::BrIns: return EventType::BrInstRetired;
+      case Preset::BrMsp: return EventType::BrMispRetired;
+      case Preset::L1Icm: return EventType::IcacheMiss;
+      case Preset::TlbIm: return EventType::ItlbMiss;
+      case Preset::HwInt: return EventType::HwInterrupt;
+      case Preset::L1Dca: return EventType::DcacheAccess;
+    }
+    pca_panic("unknown preset");
+}
+
+std::string
+nativeEventName(Preset p, Processor proc)
+{
+    // Native mnemonics in each vendor's event naming style.
+    switch (proc) {
+      case Processor::AthlonX2:
+        switch (p) {
+          case Preset::TotIns: return "RETIRED_INSTRUCTIONS";
+          case Preset::TotCyc: return "CPU_CLK_UNHALTED";
+          case Preset::BrIns: return "RETIRED_BRANCH_INSTRUCTIONS";
+          case Preset::BrMsp:
+            return "RETIRED_MISPREDICTED_BRANCH_INSTRUCTIONS";
+          case Preset::L1Icm: return "INSTRUCTION_CACHE_MISSES";
+          case Preset::TlbIm: return "L1_ITLB_MISS_AND_L2_ITLB_MISS";
+          case Preset::HwInt: return "INTERRUPTS_TAKEN";
+          case Preset::L1Dca: return "DATA_CACHE_ACCESSES";
+        }
+        break;
+      case Processor::Core2Duo:
+        switch (p) {
+          case Preset::TotIns: return "INST_RETIRED.ANY_P";
+          case Preset::TotCyc: return "CPU_CLK_UNHALTED.CORE_P";
+          case Preset::BrIns: return "BR_INST_RETIRED.ANY";
+          case Preset::BrMsp: return "BR_INST_RETIRED.MISPRED";
+          case Preset::L1Icm: return "L1I_MISSES";
+          case Preset::TlbIm: return "ITLB.MISSES";
+          case Preset::HwInt: return "HW_INT_RCV";
+          case Preset::L1Dca: return "L1D_ALL_REF";
+        }
+        break;
+      case Processor::PentiumD:
+        switch (p) {
+          case Preset::TotIns: return "instr_retired(nbogusntag)";
+          case Preset::TotCyc: return "global_power_events(running)";
+          case Preset::BrIns: return "branch_retired(mmtm,mmnm)";
+          case Preset::BrMsp: return "mispred_branch_retired";
+          case Preset::L1Icm: return "bpu_fetch_request(tcmiss)";
+          case Preset::TlbIm: return "itlb_reference(miss)";
+          case Preset::HwInt: return "(unsupported)";
+          case Preset::L1Dca: return "front_end_event(bogus,nbogus)";
+        }
+        break;
+    }
+    pca_panic("unknown preset/processor");
+}
+
+Preset
+presetForEvent(cpu::EventType ev)
+{
+    switch (ev) {
+      case EventType::InstrRetired: return Preset::TotIns;
+      case EventType::CpuClkUnhalted: return Preset::TotCyc;
+      case EventType::BrInstRetired: return Preset::BrIns;
+      case EventType::BrMispRetired: return Preset::BrMsp;
+      case EventType::IcacheMiss: return Preset::L1Icm;
+      case EventType::ItlbMiss: return Preset::TlbIm;
+      case EventType::HwInterrupt: return Preset::HwInt;
+      case EventType::DcacheAccess: return Preset::L1Dca;
+      default:
+        pca_panic("event ", cpu::eventName(ev), " has no PAPI preset");
+    }
+}
+
+} // namespace pca::papi

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * PAPI preset events and their per-processor native mappings.
+ *
+ * PAPI achieves processor independence by mapping a portable set of
+ * preset events (PAPI_TOT_INS, PAPI_TOT_CYC, ...) onto the native
+ * events of each micro-architecture (Section 2.4 of the paper). The
+ * table here records the native event *names* of the three studied
+ * processors alongside the simulator's EventType.
+ */
+
+#ifndef PCA_PAPI_PAPI_PRESET_HH
+#define PCA_PAPI_PAPI_PRESET_HH
+
+#include <string>
+
+#include "cpu/event.hh"
+#include "cpu/microarch.hh"
+
+namespace pca::papi
+{
+
+/** Portable PAPI preset events (the subset this study uses). */
+enum class Preset
+{
+    TotIns, //!< PAPI_TOT_INS: completed instructions
+    TotCyc, //!< PAPI_TOT_CYC: total cycles
+    BrIns,  //!< PAPI_BR_INS: branch instructions
+    BrMsp,  //!< PAPI_BR_MSP: mispredicted branches
+    L1Icm,  //!< PAPI_L1_ICM: L1 instruction cache misses
+    TlbIm,  //!< PAPI_TLB_IM: instruction TLB misses
+    HwInt,  //!< PAPI_HW_INT: hardware interrupts
+    L1Dca,  //!< PAPI_L1_DCA: L1 data cache accesses
+};
+
+/** PAPI-style preset name ("PAPI_TOT_INS"). */
+const char *presetName(Preset p);
+
+/** Native event the preset maps to (same on all three µarchs). */
+cpu::EventType presetToNative(Preset p, cpu::Processor proc);
+
+/** Native event name on the given processor ("RETIRED_INSTRUCTIONS"). */
+std::string nativeEventName(Preset p, cpu::Processor proc);
+
+/** Inverse mapping (used when a harness specifies raw EventTypes). */
+Preset presetForEvent(cpu::EventType ev);
+
+} // namespace pca::papi
+
+#endif // PCA_PAPI_PAPI_PRESET_HH

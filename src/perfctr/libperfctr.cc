@@ -1,0 +1,147 @@
+#include "perfctr/libperfctr.hh"
+
+#include <memory>
+
+#include "kernel/kernel.hh"
+#include "support/logging.hh"
+
+namespace pca::perfctr
+{
+
+using isa::Assembler;
+using isa::CpuContext;
+using isa::Reg;
+
+LibPerfctr::LibPerfctr(kernel::PerfctrModule &mod)
+    : mod(mod)
+{
+}
+
+void
+LibPerfctr::emitOpen(Assembler &a) const
+{
+    a.push(Reg::Ebp)
+        .work(10)
+        .movImm(Reg::Eax, kernel::sysno::vperfctrOpen)
+        .syscall()
+        .work(6)
+        .pop(Reg::Ebp);
+}
+
+void
+LibPerfctr::emitControl(Assembler &a, const ControlSpec &spec) const
+{
+    pca_assert(!spec.events.empty());
+    a.push(Reg::Ebp).push(Reg::Ebx).work(8);
+    // Marshal the control struct ("write cpu_control fields").
+    a.work(static_cast<int>(spec.events.size()) * 2);
+    kernel::PerfctrModule *m = &mod;
+    a.host([m, spec](CpuContext &) {
+        m->pendingControl.events = spec.events;
+        m->pendingControl.pl = spec.pl;
+        m->pendingControl.tscOn = spec.tsc;
+    });
+    a.movImm(Reg::Eax, kernel::sysno::vperfctrControl)
+        .syscall()
+        .work(10)
+        .pop(Reg::Ebx)
+        .pop(Reg::Ebp);
+}
+
+void
+LibPerfctr::emitStop(Assembler &a) const
+{
+    a.push(Reg::Ebp)
+        .work(55)
+        .movImm(Reg::Eax, kernel::sysno::vperfctrStop)
+        .syscall()
+        .work(6)
+        .pop(Reg::Ebp);
+}
+
+void
+LibPerfctr::emitRead(Assembler &a, const ControlSpec &spec,
+                     ReadCapture capture) const
+{
+    if (spec.tsc)
+        emitReadFast(a, spec, std::move(capture));
+    else
+        emitReadSlow(a, spec, std::move(capture));
+}
+
+void
+LibPerfctr::emitReadFast(Assembler &a, const ControlSpec &spec,
+                         ReadCapture capture) const
+{
+    const int nr = static_cast<int>(spec.events.size());
+    auto tmp = std::make_shared<std::vector<Count>>(
+        static_cast<std::size_t>(nr), 0);
+    auto tsc = std::make_shared<Count>(0);
+    kernel::PerfctrModule *m = &mod;
+
+    a.push(Reg::Ebp).push(Reg::Ebx).push(Reg::Esi).push(Reg::Edi);
+    a.work(26); // handle deref + state-page pointer setup
+
+    int retry = a.label();
+    // start = kstate->si (resume/restart count).
+    a.load(Reg::Esi, Reg::Ebp, 0);
+    a.host([m](CpuContext &ctx) {
+        ctx.setReg(Reg::Esi, m->resumeCount());
+    });
+    a.work(2);
+    // Sample the TSC (the fast protocol's descheduling witness).
+    a.rdtsc();
+    a.host([tsc](CpuContext &ctx) {
+        *tsc = ctx.getReg(Reg::Eax);
+    });
+    a.movReg(Reg::Edi, Reg::Eax);
+    a.work(19); // 64-bit tsc start/sum arithmetic
+
+    for (int i = 0; i < nr; ++i) {
+        a.movImm(Reg::Ecx, i);
+        a.rdpmc();
+        a.host([tmp, i](CpuContext &ctx) {
+            (*tmp)[static_cast<std::size_t>(i)] =
+                ctx.getReg(Reg::Eax);
+        });
+        // start.lo/hi loads + 64-bit sum arithmetic per counter.
+        a.load(Reg::Ebx, Reg::Ebp, 8 + 16 * i);
+        a.work(10);
+    }
+
+    // Re-check the resume count; retry if we were descheduled.
+    a.load(Reg::Edx, Reg::Ebp, 0);
+    a.host([m](CpuContext &ctx) {
+        ctx.setReg(Reg::Edx, m->resumeCount());
+    });
+    a.cmpReg(Reg::Esi, Reg::Edx);
+    a.jne(retry);
+
+    a.host([tmp, tsc, capture = std::move(capture)](CpuContext &) {
+        capture(*tmp, *tsc);
+    });
+    a.work(10);
+    a.pop(Reg::Edi).pop(Reg::Esi).pop(Reg::Ebx).pop(Reg::Ebp);
+}
+
+void
+LibPerfctr::emitReadSlow(Assembler &a, const ControlSpec &spec,
+                         ReadCapture capture) const
+{
+    const int nr = static_cast<int>(spec.events.size());
+    kernel::PerfctrModule *m = &mod;
+    a.push(Reg::Ebp).push(Reg::Ebx);
+    // Marshal the sum-struct request (scales with counters read).
+    a.work(128 + 12 * nr);
+    a.movImm(Reg::Eax, kernel::sysno::vperfctrRead);
+    a.syscall();
+    // Accumulate the returned per-counter start/sum state (64-bit
+    // arithmetic per counter in user space).
+    a.work(194 + 33 * nr);
+    a.host([m, capture = std::move(capture)](CpuContext &) {
+        capture(m->readBuf, m->readTsc);
+    });
+    a.pop(Reg::Ebx).pop(Reg::Ebp);
+}
+
+} // namespace pca::perfctr

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * User-space half of perfctr: the libperfctr analogue.
+ *
+ * The library emits the user-mode instruction sequences of each
+ * libperfctr call into the measurement program. The defining piece
+ * is vperfctr_read_ctrs, the fast user-mode read: RDTSC + one RDPMC
+ * per counter + 64-bit start/sum arithmetic against the mmap'd state
+ * page, wrapped in a resume-count retry loop. It is only usable when
+ * the control enables the TSC; otherwise reads fall back to the
+ * VPERFCTR_READ syscall (Figure 4 of the paper).
+ */
+
+#ifndef PCA_PERFCTR_LIBPERFCTR_HH
+#define PCA_PERFCTR_LIBPERFCTR_HH
+
+#include <functional>
+#include <vector>
+
+#include "cpu/event.hh"
+#include "isa/assembler.hh"
+#include "kernel/perfctr_mod.hh"
+#include "support/types.hh"
+
+namespace pca::perfctr
+{
+
+/** Counter configuration for vperfctr_control. */
+struct ControlSpec
+{
+    std::vector<cpu::EventType> events; //!< counter 0 first
+    PlMask pl = PlMask::UserKernel;
+    bool tsc = true; //!< include the TSC (enables the fast read)
+};
+
+/** Callback receiving counter values at a read's capture point. */
+using ReadCapture =
+    std::function<void(const std::vector<Count> &values, Count tsc)>;
+
+/**
+ * Emits libperfctr call sequences. One instance per measurement
+ * program; holds the handle to the kernel module ("the fd and the
+ * mmap'd state page").
+ */
+class LibPerfctr
+{
+  public:
+    explicit LibPerfctr(kernel::PerfctrModule &mod);
+
+    /** vperfctr_open(): create + map the per-task state. */
+    void emitOpen(isa::Assembler &a) const;
+
+    /** vperfctr_control(): reset, program, and start the counters. */
+    void emitControl(isa::Assembler &a, const ControlSpec &spec) const;
+
+    /** vperfctr_stop(): stop counting. */
+    void emitStop(isa::Assembler &a) const;
+
+    /**
+     * Read the current virtualized counts. Chooses the fast
+     * user-mode path when @p spec.tsc is set, the read syscall
+     * otherwise — faithfully to libperfctr, the caller does not pick.
+     */
+    void emitRead(isa::Assembler &a, const ControlSpec &spec,
+                  ReadCapture capture) const;
+
+  private:
+    void emitReadFast(isa::Assembler &a, const ControlSpec &spec,
+                      ReadCapture capture) const;
+    void emitReadSlow(isa::Assembler &a, const ControlSpec &spec,
+                      ReadCapture capture) const;
+
+    kernel::PerfctrModule &mod;
+};
+
+} // namespace pca::perfctr
+
+#endif // PCA_PERFCTR_LIBPERFCTR_HH

@@ -1,0 +1,125 @@
+#include "perfevent/libperf.hh"
+
+#include <memory>
+
+#include "support/logging.hh"
+
+namespace pca::perfevent
+{
+
+using isa::Assembler;
+using isa::CpuContext;
+using isa::Reg;
+
+LibPerf::LibPerf(kernel::PerfEventModule &mod)
+    : mod(mod)
+{
+}
+
+void
+LibPerf::emitOpenAll(Assembler &a, const PerfSpec &spec) const
+{
+    pca_assert(!spec.events.empty());
+    kernel::PerfEventModule *m = &mod;
+    for (cpu::EventType ev : spec.events) {
+        // attr struct setup (memset + field writes) per event.
+        a.push(Reg::Ebx).work(26);
+        a.host([m, ev, pl = spec.pl](CpuContext &) {
+            m->pendingEvent = ev;
+            m->pendingPl = pl;
+        });
+        a.movImm(Reg::Eax, kernel::sysno_pe::perfEventOpen);
+        a.syscall();
+        a.work(9); // fd bookkeeping + mmap of the monitoring page
+        a.pop(Reg::Ebx);
+    }
+}
+
+void
+LibPerf::emitEnable(Assembler &a) const
+{
+    a.push(Reg::Ebx).work(7);
+    a.movImm(Reg::Eax, kernel::sysno_pe::ioctlEnable);
+    a.syscall();
+    a.work(5).pop(Reg::Ebx);
+}
+
+void
+LibPerf::emitDisable(Assembler &a) const
+{
+    a.push(Reg::Ebx).work(7);
+    a.movImm(Reg::Eax, kernel::sysno_pe::ioctlDisable);
+    a.syscall();
+    a.work(5).pop(Reg::Ebx);
+}
+
+void
+LibPerf::emitReadAll(Assembler &a, int nr_events,
+                     ReadCapture capture) const
+{
+    pca_assert(nr_events >= 1);
+    kernel::PerfEventModule *m = &mod;
+    auto tmp = std::make_shared<std::vector<Count>>(
+        static_cast<std::size_t>(nr_events), 0);
+
+    a.push(Reg::Ebx);
+    for (int i = 0; i < nr_events; ++i) {
+        a.work(8); // buffer setup for this read()
+        a.host([m, i](CpuContext &) { m->argFd = i; });
+        a.movImm(Reg::Eax, kernel::sysno_pe::readFd);
+        a.syscall();
+        a.host([m, tmp, i](CpuContext &) {
+            (*tmp)[static_cast<std::size_t>(i)] = m->readValue;
+        });
+        a.work(5); // u64 copy out of the read buffer
+    }
+    a.host([tmp, capture = std::move(capture)](CpuContext &) {
+        capture(*tmp);
+    });
+    a.pop(Reg::Ebx);
+}
+
+void
+LibPerf::emitReadFast(Assembler &a, int nr_events,
+                      ReadCapture capture) const
+{
+    pca_assert(nr_events >= 1);
+    kernel::PerfEventModule *m = &mod;
+    auto tmp = std::make_shared<std::vector<Count>>(
+        static_cast<std::size_t>(nr_events), 0);
+
+    a.push(Reg::Ebp).push(Reg::Ebx).push(Reg::Esi);
+    a.work(9); // page pointers
+    for (int i = 0; i < nr_events; ++i) {
+        int retry = a.label();
+        // seq = pc->lock (seqlock read side).
+        a.load(Reg::Esi, Reg::Ebp, 0);
+        a.host([m, i](CpuContext &ctx) {
+            ctx.setReg(Reg::Esi, m->fd(i).mmapSeq);
+        });
+        a.work(3); // barrier + index decode from the page
+        a.host([m, i](CpuContext &ctx) {
+            ctx.setReg(Reg::Ecx,
+                       static_cast<std::uint64_t>(m->fd(i).counter));
+        });
+        a.rdpmc();
+        a.host([tmp, i](CpuContext &ctx) {
+            (*tmp)[static_cast<std::size_t>(i)] =
+                ctx.getReg(Reg::Eax);
+        });
+        a.work(6); // add pc->offset (64-bit)
+        a.load(Reg::Edx, Reg::Ebp, 0);
+        a.host([m, i](CpuContext &ctx) {
+            ctx.setReg(Reg::Edx, m->fd(i).mmapSeq);
+        });
+        a.cmpReg(Reg::Esi, Reg::Edx);
+        a.jne(retry);
+    }
+    a.host([tmp, capture = std::move(capture)](CpuContext &) {
+        capture(*tmp);
+    });
+    a.work(5);
+    a.pop(Reg::Esi).pop(Reg::Ebx).pop(Reg::Ebp);
+}
+
+} // namespace pca::perfevent

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * User-space half of the perf_event analogue: the thin library a
+ * modern tool (or libperf) layers over perf_event_open / ioctl /
+ * read, plus the mmap self-monitoring fast read (seqlock + RDPMC).
+ */
+
+#ifndef PCA_PERFEVENT_LIBPERF_HH
+#define PCA_PERFEVENT_LIBPERF_HH
+
+#include <functional>
+#include <vector>
+
+#include "cpu/event.hh"
+#include "isa/assembler.hh"
+#include "kernel/perfevent_mod.hh"
+#include "support/types.hh"
+
+namespace pca::perfevent
+{
+
+/** Events to monitor (one perf_event fd each). */
+struct PerfSpec
+{
+    std::vector<cpu::EventType> events;
+    PlMask pl = PlMask::UserKernel;
+};
+
+/** Callback receiving counter values at a read's capture point. */
+using ReadCapture =
+    std::function<void(const std::vector<Count> &values)>;
+
+/** Emits perf_event call sequences into a measurement program. */
+class LibPerf
+{
+  public:
+    explicit LibPerf(kernel::PerfEventModule &mod);
+
+    /** One perf_event_open syscall per event (disabled). */
+    void emitOpenAll(isa::Assembler &a, const PerfSpec &spec) const;
+
+    /** ioctl(PERF_EVENT_IOC_ENABLE, GROUP): reset + start. */
+    void emitEnable(isa::Assembler &a) const;
+
+    /** ioctl(PERF_EVENT_IOC_DISABLE, GROUP): stop. */
+    void emitDisable(isa::Assembler &a) const;
+
+    /**
+     * read(fd) for each of the @p nr_events fds: one syscall per
+     * counter — the modern interface's per-event read cost.
+     */
+    void emitReadAll(isa::Assembler &a, int nr_events,
+                     ReadCapture capture) const;
+
+    /**
+     * mmap self-monitoring read: seqlock check + RDPMC per event,
+     * entirely in user space (cap_user_rdpmc).
+     */
+    void emitReadFast(isa::Assembler &a, int nr_events,
+                      ReadCapture capture) const;
+
+  private:
+    kernel::PerfEventModule &mod;
+};
+
+} // namespace pca::perfevent
+
+#endif // PCA_PERFEVENT_LIBPERF_HH

@@ -1,0 +1,159 @@
+#include "perfmon/libpfm.hh"
+
+#include "kernel/kernel.hh"
+#include "support/logging.hh"
+
+namespace pca::perfmon
+{
+
+using isa::Assembler;
+using isa::CpuContext;
+using isa::Reg;
+
+LibPfm::LibPfm(kernel::PerfmonModule &mod)
+    : mod(mod)
+{
+}
+
+void
+LibPfm::emitSyscallWrapper(Assembler &a, int nr, int pre_work,
+                           int post_work) const
+{
+    a.push(Reg::Ebx);
+    a.work(pre_work);
+    a.movImm(Reg::Eax, nr);
+    a.syscall();
+    a.work(post_work);
+    a.pop(Reg::Ebx);
+}
+
+void
+LibPfm::emitInitialize(Assembler &a) const
+{
+    // Builds libpfm's in-memory event tables; no kernel involvement.
+    a.push(Reg::Ebp).work(220).pop(Reg::Ebp);
+}
+
+void
+LibPfm::emitCreateContext(Assembler &a) const
+{
+    emitSyscallWrapper(a, kernel::sysno::pfmCreate, 24, 14);
+}
+
+void
+LibPfm::emitWritePmcs(Assembler &a, const PfmSpec &spec) const
+{
+    pca_assert(!spec.events.empty());
+    // Event encoding (pfm_find_event + dispatch) is user-space work
+    // proportional to the number of events.
+    a.work(30 + 12 * static_cast<int>(spec.events.size()));
+    kernel::PerfmonModule *m = &mod;
+    a.host([m, spec](CpuContext &) {
+        m->pendingConfig.events = spec.events;
+        m->pendingConfig.pl = spec.pl;
+    });
+    emitSyscallWrapper(a, kernel::sysno::pfmWritePmcs, 12, 8);
+}
+
+void
+LibPfm::emitWritePmds(Assembler &a, const PfmSpec &spec) const
+{
+    a.work(8 + 4 * static_cast<int>(spec.events.size()));
+    emitSyscallWrapper(a, kernel::sysno::pfmWritePmds, 12, 8);
+}
+
+void
+LibPfm::emitStart(Assembler &a) const
+{
+    emitSyscallWrapper(a, kernel::sysno::pfmStart, 7, 24);
+}
+
+void
+LibPfm::emitStop(Assembler &a) const
+{
+    emitSyscallWrapper(a, kernel::sysno::pfmStop, 18, 16);
+}
+
+void
+LibPfm::emitRead(Assembler &a, const PfmSpec &spec,
+                 ReadCapture capture) const
+{
+    (void)spec;
+    kernel::PerfmonModule *m = &mod;
+    a.push(Reg::Ebx);
+    a.work(16); // pmd request array setup
+    a.movImm(Reg::Eax, kernel::sysno::pfmReadPmds);
+    a.syscall();
+    a.work(17);
+    a.host([m, capture = std::move(capture)](CpuContext &) {
+        capture(m->readBuf);
+    });
+    a.pop(Reg::Ebx);
+}
+
+void
+LibPfm::emitCreateEventSets(Assembler &a,
+                            const kernel::PerfmonMpxSpec &spec) const
+{
+    pca_assert(!spec.groups.empty());
+    int total_events = 0;
+    for (const auto &g : spec.groups)
+        total_events += static_cast<int>(g.size());
+    // Encode every event and build the per-set descriptors.
+    a.work(36 + 12 * total_events +
+           8 * static_cast<int>(spec.groups.size()));
+    kernel::PerfmonModule *m = &mod;
+    a.host([m, spec](CpuContext &) { m->pendingMpx = spec; });
+    emitSyscallWrapper(a, kernel::sysno::pfmCreateEvtsets, 14, 10);
+}
+
+void
+LibPfm::emitStartMpx(Assembler &a) const
+{
+    emitSyscallWrapper(a, kernel::sysno::pfmStartMpx, 7, 5);
+}
+
+void
+LibPfm::emitStopMpx(Assembler &a) const
+{
+    emitSyscallWrapper(a, kernel::sysno::pfmStopMpx, 7, 5);
+}
+
+void
+LibPfm::emitReadMpx(Assembler &a, MpxCapture capture) const
+{
+    kernel::PerfmonModule *m = &mod;
+    a.push(Reg::Ebx);
+    a.work(18); // per-set read request marshalling
+    a.movImm(Reg::Eax, kernel::sysno::pfmReadMpx);
+    a.syscall();
+    a.work(22); // scale arithmetic done in the library
+    a.host([m, capture = std::move(capture)](CpuContext &) {
+        capture(m->mpxReadBuf);
+    });
+    a.pop(Reg::Ebx);
+}
+
+void
+LibPfm::emitSetSampling(Assembler &a,
+                        const kernel::PerfmonSamplingSpec &spec) const
+{
+    a.work(40); // smpl_arg marshalling
+    kernel::PerfmonModule *m = &mod;
+    a.host([m, spec](CpuContext &) { m->pendingSampling = spec; });
+    emitSyscallWrapper(a, kernel::sysno::pfmSetSmpl, 14, 10);
+}
+
+void
+LibPfm::emitReadSamples(Assembler &a, SampleCapture capture) const
+{
+    kernel::PerfmonModule *m = &mod;
+    // Walking the mmap'd sample buffer is user-space work.
+    a.push(Reg::Ebx).work(30);
+    a.host([m, capture = std::move(capture)](CpuContext &) {
+        capture(m->samples());
+    });
+    a.pop(Reg::Ebx);
+}
+
+} // namespace pca::perfmon

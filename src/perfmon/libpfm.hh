@@ -1,0 +1,108 @@
+/**
+ * @file
+ * User-space half of perfmon2: the libpfm analogue.
+ *
+ * libpfm is a thin wrapper: it encodes event names into PMC values in
+ * user space, but every operational step — context creation, PMC/PMD
+ * writes, start, stop, read — is a syscall into the perfmon2 kernel
+ * extension. perfmon has no user-mode read path, which is why its
+ * user+kernel error is dominated by the read syscall while its
+ * user-only error is tiny (Table 3: 726 vs 37 for read-read).
+ */
+
+#ifndef PCA_PERFMON_LIBPFM_HH
+#define PCA_PERFMON_LIBPFM_HH
+
+#include <functional>
+#include <vector>
+
+#include "cpu/event.hh"
+#include "isa/assembler.hh"
+#include "kernel/perfmon_mod.hh"
+#include "support/types.hh"
+
+namespace pca::perfmon
+{
+
+/** Event programming for one measurement session. */
+struct PfmSpec
+{
+    std::vector<cpu::EventType> events; //!< PMC0 first
+    PlMask pl = PlMask::UserKernel;
+};
+
+/** Callback receiving counter values at a read's capture point. */
+using ReadCapture =
+    std::function<void(const std::vector<Count> &values)>;
+
+/** Callback receiving multiplexed (scaled) per-event estimates. */
+using MpxCapture =
+    std::function<void(const std::vector<double> &estimates)>;
+
+/** Emits libpfm call sequences into a measurement program. */
+class LibPfm
+{
+  public:
+    explicit LibPfm(kernel::PerfmonModule &mod);
+
+    /** pfm_initialize(): pure user-space event-table setup. */
+    void emitInitialize(isa::Assembler &a) const;
+
+    /** pfm_create_context(). */
+    void emitCreateContext(isa::Assembler &a) const;
+
+    /** pfm_write_pmcs(): program the event selects (disabled). */
+    void emitWritePmcs(isa::Assembler &a, const PfmSpec &spec) const;
+
+    /** pfm_write_pmds(): reset the counter values to zero. */
+    void emitWritePmds(isa::Assembler &a, const PfmSpec &spec) const;
+
+    /** pfm_start(). */
+    void emitStart(isa::Assembler &a) const;
+
+    /** pfm_stop(). */
+    void emitStop(isa::Assembler &a) const;
+
+    /** pfm_read_pmds(): kernel copies each PMD to user space. */
+    void emitRead(isa::Assembler &a, const PfmSpec &spec,
+                  ReadCapture capture) const;
+
+    // --- Event-set multiplexing (pfm_create_evtsets family) ---
+
+    /** Stage the groups and create the event sets. */
+    void emitCreateEventSets(isa::Assembler &a,
+                             const kernel::PerfmonMpxSpec &spec) const;
+
+    /** Start multiplexed counting (group 0 first). */
+    void emitStartMpx(isa::Assembler &a) const;
+
+    /** Stop multiplexed counting. */
+    void emitStopMpx(isa::Assembler &a) const;
+
+    /** Read scaled per-event estimates. @see PerfmonModule */
+    void emitReadMpx(isa::Assembler &a, MpxCapture capture) const;
+
+    // --- Sampling (pfm_set_smpl family) ---
+
+    /** Callback receiving the recorded sample addresses. */
+    using SampleCapture =
+        std::function<void(const std::vector<Addr> &samples)>;
+
+    /** Arm counter 0 for overflow sampling. */
+    void emitSetSampling(isa::Assembler &a,
+                         const kernel::PerfmonSamplingSpec &spec) const;
+
+    /** Read the sample buffer (mmap'd: no syscall). */
+    void emitReadSamples(isa::Assembler &a,
+                         SampleCapture capture) const;
+
+  private:
+    void emitSyscallWrapper(isa::Assembler &a, int nr, int pre_work,
+                            int post_work) const;
+
+    kernel::PerfmonModule &mod;
+};
+
+} // namespace pca::perfmon
+
+#endif // PCA_PERFMON_LIBPFM_HH

@@ -1,0 +1,124 @@
+#include "stats/anova.hh"
+
+#include <map>
+
+#include "stats/distributions.hh"
+#include "support/logging.hh"
+#include "support/strutil.hh"
+#include "support/table.hh"
+
+namespace pca::stats
+{
+
+bool
+AnovaResult::significant(const std::string &factor, double alpha) const
+{
+    for (const auto &row : factors)
+        if (row.factor == factor)
+            return row.pValue < alpha;
+    pca_panic("unknown ANOVA factor '", factor, "'");
+}
+
+void
+AnovaResult::print(std::ostream &os) const
+{
+    TextTable t({"Factor", "Df", "Sum Sq", "Mean Sq", "F value",
+                 "Pr(>F)"});
+    for (const auto &row : factors) {
+        std::string p = row.pValue < 2e-16 ? "< 2e-16"
+                                           : fmtSci(row.pValue, 3);
+        t.addRow({row.factor, std::to_string(row.dof),
+                  fmtSci(row.sumSq, 3), fmtSci(row.meanSq, 3),
+                  fmtDouble(row.fValue, 2), p});
+    }
+    t.addRow({"Residuals", std::to_string(residualDof),
+              fmtSci(residualSumSq, 3), fmtSci(residualMeanSq, 3), "",
+              ""});
+    t.print(os);
+}
+
+AnovaResult
+anova(const std::vector<std::string> &factor_names,
+      const std::vector<Observation> &data)
+{
+    pca_assert(!factor_names.empty());
+    pca_assert(data.size() >= 3);
+    const std::size_t nf = factor_names.size();
+    for (const auto &obs : data)
+        pca_assert(obs.levels.size() == nf);
+
+    const auto n = static_cast<double>(data.size());
+    double grand_sum = 0;
+    for (const auto &obs : data)
+        grand_sum += obs.response;
+    const double grand_mean = grand_sum / n;
+
+    double total_ss = 0;
+    for (const auto &obs : data) {
+        const double d = obs.response - grand_mean;
+        total_ss += d * d;
+    }
+
+    AnovaResult res;
+    res.totalSumSq = total_ss;
+
+    double explained_ss = 0;
+    std::size_t explained_dof = 0;
+    for (std::size_t f = 0; f < nf; ++f) {
+        // Group sums per level of this factor.
+        std::map<std::string, std::pair<double, std::size_t>> groups;
+        for (const auto &obs : data) {
+            auto &g = groups[obs.levels[f]];
+            g.first += obs.response;
+            ++g.second;
+        }
+        pca_assert(groups.size() >= 1);
+
+        double ss = 0;
+        for (const auto &[level, g] : groups) {
+            const double gm = g.first / static_cast<double>(g.second);
+            const double d = gm - grand_mean;
+            ss += static_cast<double>(g.second) * d * d;
+        }
+
+        AnovaRow row;
+        row.factor = factor_names[f];
+        row.dof = groups.size() - 1;
+        row.sumSq = ss;
+        res.factors.push_back(row);
+        explained_ss += ss;
+        explained_dof += row.dof;
+    }
+
+    pca_assert(data.size() > explained_dof + 1);
+    res.residualDof = data.size() - 1 - explained_dof;
+    res.residualSumSq = total_ss - explained_ss;
+    // Numerical noise can push the residual slightly negative when a
+    // factor explains everything; clamp.
+    if (res.residualSumSq < 0)
+        res.residualSumSq = 0;
+    res.residualMeanSq =
+        res.residualSumSq / static_cast<double>(res.residualDof);
+
+    for (auto &row : res.factors) {
+        if (row.dof == 0) {
+            row.meanSq = 0;
+            row.fValue = 0;
+            row.pValue = 1;
+            continue;
+        }
+        row.meanSq = row.sumSq / static_cast<double>(row.dof);
+        if (res.residualMeanSq > 0) {
+            row.fValue = row.meanSq / res.residualMeanSq;
+            row.pValue = fSf(row.fValue,
+                             static_cast<double>(row.dof),
+                             static_cast<double>(res.residualDof));
+        } else {
+            row.fValue = row.sumSq > 0 ? 1e300 : 0;
+            row.pValue = row.sumSq > 0 ? 0 : 1;
+        }
+    }
+    return res;
+}
+
+} // namespace pca::stats

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * N-way main-effects analysis of variance.
+ *
+ * Section 4.3 of the paper runs an n-way ANOVA with processor,
+ * infrastructure, access pattern, optimization level, and number of
+ * counter registers as factors and the instruction-count error as the
+ * response; all factors but the optimization level come out
+ * significant (Pr(>F) < 2e-16).
+ */
+
+#ifndef PCA_STATS_ANOVA_HH
+#define PCA_STATS_ANOVA_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pca::stats
+{
+
+/** One observation: a response value plus one label per factor. */
+struct Observation
+{
+    std::vector<std::string> levels; //!< factor levels, one per factor
+    double response = 0;
+};
+
+/** Per-factor ANOVA result row. */
+struct AnovaRow
+{
+    std::string factor;
+    std::size_t dof = 0;
+    double sumSq = 0;
+    double meanSq = 0;
+    double fValue = 0;
+    double pValue = 1;
+};
+
+/** Full ANOVA table. */
+struct AnovaResult
+{
+    std::vector<AnovaRow> factors;
+    std::size_t residualDof = 0;
+    double residualSumSq = 0;
+    double residualMeanSq = 0;
+    double totalSumSq = 0;
+
+    /** Is the named factor significant at level @p alpha? */
+    bool significant(const std::string &factor,
+                     double alpha = 0.001) const;
+
+    /** Print an R-style ANOVA table. */
+    void print(std::ostream &os) const;
+};
+
+/**
+ * Main-effects (no interactions) ANOVA.
+ *
+ * Sums of squares are the classic between-group sums per factor; for
+ * the balanced full-factorial designs produced by core::FactorSpace
+ * these coincide with Type-I/II/III sums. The residual picks up
+ * everything else (including interactions).
+ *
+ * @param factor_names one name per factor, in Observation::levels order
+ * @param data observations; all must have factor_names.size() levels
+ */
+AnovaResult anova(const std::vector<std::string> &factor_names,
+                  const std::vector<Observation> &data);
+
+} // namespace pca::stats
+
+#endif // PCA_STATS_ANOVA_HH

@@ -1,0 +1,99 @@
+#include "stats/boxplot.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/strutil.hh"
+
+namespace pca::stats
+{
+
+BoxPlot
+makeBoxPlot(const std::vector<double> &xs)
+{
+    BoxPlot bp;
+    bp.summary = summarize(xs);
+    double lo_fence = bp.summary.q1 - 1.5 * bp.summary.iqr();
+    double hi_fence = bp.summary.q3 + 1.5 * bp.summary.iqr();
+
+    bp.whiskerLo = bp.summary.max;
+    bp.whiskerHi = bp.summary.min;
+    for (double x : xs) {
+        if (x >= lo_fence)
+            bp.whiskerLo = std::min(bp.whiskerLo, x);
+        if (x <= hi_fence)
+            bp.whiskerHi = std::max(bp.whiskerHi, x);
+        if (x < lo_fence || x > hi_fence)
+            bp.outliers.push_back(x);
+    }
+    std::sort(bp.outliers.begin(), bp.outliers.end());
+    return bp;
+}
+
+void
+renderBoxPlots(std::ostream &os,
+               const std::vector<std::string> &labels,
+               const std::vector<BoxPlot> &boxes,
+               int width)
+{
+    pca_assert(labels.size() == boxes.size());
+    pca_assert(!boxes.empty());
+    pca_assert(width >= 10);
+
+    double lo = boxes[0].summary.min;
+    double hi = boxes[0].summary.max;
+    std::size_t label_w = 0;
+    for (std::size_t i = 0; i < boxes.size(); ++i) {
+        lo = std::min(lo, boxes[i].summary.min);
+        hi = std::max(hi, boxes[i].summary.max);
+        label_w = std::max(label_w, labels[i].size());
+    }
+    if (hi <= lo)
+        hi = lo + 1.0;
+
+    auto col = [&](double v) {
+        double frac = (v - lo) / (hi - lo);
+        int c = static_cast<int>(std::lround(frac * (width - 1)));
+        return std::clamp(c, 0, width - 1);
+    };
+
+    for (std::size_t i = 0; i < boxes.size(); ++i) {
+        const BoxPlot &b = boxes[i];
+        std::string row(width, ' ');
+        int wl = col(b.whiskerLo), wh = col(b.whiskerHi);
+        int q1 = col(b.summary.q1), q3 = col(b.summary.q3);
+        int med = col(b.summary.median);
+        for (int c = wl; c <= wh; ++c)
+            row[c] = '-';
+        row[wl] = '|';
+        row[wh] = '|';
+        for (int c = q1; c <= q3; ++c)
+            row[c] = '=';
+        row[q1] = '[';
+        row[q3] = ']';
+        row[med] = '#';
+        for (double o : b.outliers)
+            row[col(o)] = 'o';
+        os << padRight(labels[i], label_w) << " " << row << '\n';
+    }
+
+    // Axis line with min / mid / max annotations.
+    os << repeat(' ', label_w + 1) << repeat('~', width) << '\n';
+    std::string lo_s = fmtDouble(lo, 1);
+    std::string hi_s = fmtDouble(hi, 1);
+    std::string mid_s = fmtDouble((lo + hi) / 2, 1);
+    std::string axis(width, ' ');
+    os << repeat(' ', label_w + 1) << lo_s
+       << repeat(' ', std::max<int>(1, width / 2
+                                    - static_cast<int>(lo_s.size())
+                                    - static_cast<int>(mid_s.size()) / 2))
+       << mid_s
+       << repeat(' ', std::max<int>(1, width - width / 2
+                                    - static_cast<int>(mid_s.size()) / 2
+                                    - static_cast<int>(mid_s.size()) % 2
+                                    - static_cast<int>(hi_s.size())))
+       << hi_s << '\n';
+}
+
+} // namespace pca::stats

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Box-plot data (Tukey fences) and an ASCII renderer, used by the
+ * benches to print the figures' box plots as text.
+ */
+
+#ifndef PCA_STATS_BOXPLOT_HH
+#define PCA_STATS_BOXPLOT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.hh"
+
+namespace pca::stats
+{
+
+/** Tukey box plot description of one sample. */
+struct BoxPlot
+{
+    Summary summary;
+    /** Lowest datum within 1.5 IQR of Q1. */
+    double whiskerLo = 0;
+    /** Highest datum within 1.5 IQR of Q3. */
+    double whiskerHi = 0;
+    /** Data outside the whiskers. */
+    std::vector<double> outliers;
+};
+
+/** Compute the box plot of a sample; panics on an empty sample. */
+BoxPlot makeBoxPlot(const std::vector<double> &xs);
+
+/**
+ * Render a group of labelled box plots on a shared horizontal scale.
+ *
+ * Each box becomes one text row like
+ * @code
+ * pm   |      |----[  #  ]------|        o  o
+ * @endcode
+ * with '#' at the median, '[ ]' at the quartiles, '|...|' whiskers and
+ * 'o' outliers (binned).
+ */
+void renderBoxPlots(std::ostream &os,
+                    const std::vector<std::string> &labels,
+                    const std::vector<BoxPlot> &boxes,
+                    int width = 68);
+
+} // namespace pca::stats
+
+#endif // PCA_STATS_BOXPLOT_HH

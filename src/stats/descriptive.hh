@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Descriptive statistics: the summaries behind every box in the paper
+ * (median, quartiles, min/max) plus mean/stddev helpers.
+ */
+
+#ifndef PCA_STATS_DESCRIPTIVE_HH
+#define PCA_STATS_DESCRIPTIVE_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace pca::stats
+{
+
+/** Arithmetic mean; panics on an empty sample. */
+double mean(const std::vector<double> &xs);
+
+/** Unbiased sample variance (n-1 denominator); 0 for n < 2. */
+double variance(const std::vector<double> &xs);
+
+/** Sample standard deviation. */
+double stddev(const std::vector<double> &xs);
+
+/**
+ * Quantile with linear interpolation between order statistics
+ * (type-7, the R default — the paper's plots were made with R).
+ *
+ * @param xs sample, need not be sorted
+ * @param q quantile in [0, 1]
+ */
+double quantile(std::vector<double> xs, double q);
+
+/** Median (quantile 0.5). */
+double median(const std::vector<double> &xs);
+
+/** Smallest element. */
+double minOf(const std::vector<double> &xs);
+
+/** Largest element. */
+double maxOf(const std::vector<double> &xs);
+
+/**
+ * Five-number-plus summary of one sample, the unit of comparison for
+ * most of the paper's figures.
+ */
+struct Summary
+{
+    std::size_t n = 0;
+    double min = 0;
+    double q1 = 0;
+    double median = 0;
+    double q3 = 0;
+    double max = 0;
+    double mean = 0;
+    double stddev = 0;
+
+    /** Inter-quartile range. */
+    double iqr() const { return q3 - q1; }
+};
+
+/** Compute a Summary; panics on an empty sample. */
+Summary summarize(const std::vector<double> &xs);
+
+} // namespace pca::stats
+
+#endif // PCA_STATS_DESCRIPTIVE_HH

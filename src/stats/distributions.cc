@@ -1,0 +1,131 @@
+#include "stats/distributions.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace pca::stats
+{
+
+double
+logGamma(double x)
+{
+    pca_assert(x > 0);
+    // Lanczos approximation, g = 7, n = 9.
+    static const double coeffs[] = {
+        0.99999999999980993, 676.5203681218851, -1259.1392167224028,
+        771.32342877765313, -176.61502916214059, 12.507343278686905,
+        -0.13857109526572012, 9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    };
+    if (x < 0.5) {
+        // Reflection formula.
+        return std::log(M_PI / std::sin(M_PI * x)) - logGamma(1.0 - x);
+    }
+    x -= 1.0;
+    double a = coeffs[0];
+    const double t = x + 7.5;
+    for (int i = 1; i < 9; ++i)
+        a += coeffs[i] / (x + i);
+    return 0.5 * std::log(2.0 * M_PI) + (x + 0.5) * std::log(t) - t
+        + std::log(a);
+}
+
+namespace
+{
+
+/** Continued fraction for the incomplete beta (betacf). */
+double
+betaContinuedFraction(double a, double b, double x)
+{
+    constexpr int max_iter = 300;
+    constexpr double eps = 3e-14;
+    constexpr double fpmin = 1e-300;
+
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::abs(d) < fpmin)
+        d = fpmin;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= max_iter; ++m) {
+        const int m2 = 2 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::abs(d) < fpmin)
+            d = fpmin;
+        c = 1.0 + aa / c;
+        if (std::abs(c) < fpmin)
+            c = fpmin;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::abs(d) < fpmin)
+            d = fpmin;
+        c = 1.0 + aa / c;
+        if (std::abs(c) < fpmin)
+            c = fpmin;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::abs(del - 1.0) < eps)
+            break;
+    }
+    return h;
+}
+
+} // namespace
+
+double
+incompleteBeta(double a, double b, double x)
+{
+    pca_assert(a > 0 && b > 0);
+    pca_assert(x >= 0.0 && x <= 1.0);
+    if (x == 0.0)
+        return 0.0;
+    if (x == 1.0)
+        return 1.0;
+    const double ln_front = logGamma(a + b) - logGamma(a) - logGamma(b)
+        + a * std::log(x) + b * std::log(1.0 - x);
+    const double front = std::exp(ln_front);
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return front * betaContinuedFraction(a, b, x) / a;
+    return 1.0 - front * betaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double
+fCdf(double f, double d1, double d2)
+{
+    pca_assert(d1 > 0 && d2 > 0);
+    if (f <= 0)
+        return 0.0;
+    const double x = d1 * f / (d1 * f + d2);
+    return incompleteBeta(d1 / 2.0, d2 / 2.0, x);
+}
+
+double
+fSf(double f, double d1, double d2)
+{
+    return 1.0 - fCdf(f, d1, d2);
+}
+
+double
+tCdf(double t, double dof)
+{
+    pca_assert(dof > 0);
+    const double x = dof / (dof + t * t);
+    const double p = 0.5 * incompleteBeta(dof / 2.0, 0.5, x);
+    return t >= 0 ? 1.0 - p : p;
+}
+
+double
+normalCdf(double z)
+{
+    return 0.5 * std::erfc(-z / std::sqrt(2.0));
+}
+
+} // namespace pca::stats

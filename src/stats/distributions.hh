@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Special functions and distribution CDFs needed by the ANOVA:
+ * log-gamma, regularized incomplete beta, and the F distribution.
+ */
+
+#ifndef PCA_STATS_DISTRIBUTIONS_HH
+#define PCA_STATS_DISTRIBUTIONS_HH
+
+namespace pca::stats
+{
+
+/** Natural log of the gamma function (Lanczos approximation). */
+double logGamma(double x);
+
+/**
+ * Regularized incomplete beta function I_x(a, b), computed with the
+ * continued-fraction expansion (Numerical-Recipes style betacf).
+ *
+ * @param a shape > 0
+ * @param b shape > 0
+ * @param x in [0, 1]
+ */
+double incompleteBeta(double a, double b, double x);
+
+/** CDF of the F distribution with (d1, d2) degrees of freedom. */
+double fCdf(double f, double d1, double d2);
+
+/** Upper tail Pr(F > f), the ANOVA p-value. */
+double fSf(double f, double d1, double d2);
+
+/** CDF of Student's t with @p dof degrees of freedom. */
+double tCdf(double t, double dof);
+
+/** Standard normal CDF. */
+double normalCdf(double z);
+
+} // namespace pca::stats
+
+#endif // PCA_STATS_DISTRIBUTIONS_HH

@@ -1,0 +1,86 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+#include "support/strutil.hh"
+
+namespace pca::stats
+{
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo(lo), hi(hi), counts(bins, 0)
+{
+    pca_assert(bins >= 1);
+    pca_assert(hi > lo);
+}
+
+void
+Histogram::add(double x)
+{
+    double frac = (x - lo) / (hi - lo);
+    auto bin = static_cast<long>(std::floor(
+        frac * static_cast<double>(counts.size())));
+    bin = std::clamp<long>(bin, 0, static_cast<long>(counts.size()) - 1);
+    ++counts[static_cast<std::size_t>(bin)];
+    ++totalCount;
+}
+
+void
+Histogram::addAll(const std::vector<double> &xs)
+{
+    for (double x : xs)
+        add(x);
+}
+
+double
+Histogram::binCenter(std::size_t bin) const
+{
+    pca_assert(bin < counts.size());
+    double w = (hi - lo) / static_cast<double>(counts.size());
+    return lo + (static_cast<double>(bin) + 0.5) * w;
+}
+
+std::vector<std::size_t>
+Histogram::modes(double min_frac) const
+{
+    std::vector<std::size_t> out;
+    if (totalCount == 0)
+        return out;
+    const auto thresh = static_cast<double>(totalCount) * min_frac;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        const auto c = static_cast<double>(counts[i]);
+        if (c < thresh || c == 0)
+            continue;
+        const std::size_t left = i == 0 ? 0 : counts[i - 1];
+        const std::size_t right =
+            i + 1 == counts.size() ? 0 : counts[i + 1];
+        if (counts[i] >= left && counts[i] > right)
+            out.push_back(i);
+        else if (counts[i] >= left && counts[i] == right && i > 0 &&
+                 counts[i] > counts[i - 1])
+            out.push_back(i); // plateau start
+    }
+    return out;
+}
+
+void
+Histogram::print(std::ostream &os, int bar_width) const
+{
+    std::size_t peak = 0;
+    for (auto c : counts)
+        peak = std::max(peak, c);
+    if (peak == 0)
+        peak = 1;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        auto bar = static_cast<std::size_t>(
+            std::lround(static_cast<double>(counts[i]) * bar_width
+                        / static_cast<double>(peak)));
+        os << padLeft(fmtDouble(binCenter(i), 1), 14) << "  "
+           << padLeft(std::to_string(counts[i]), 8) << "  "
+           << repeat('*', bar) << '\n';
+    }
+}
+
+} // namespace pca::stats

@@ -1,0 +1,50 @@
+#include "stats/regression.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace pca::stats
+{
+
+LinearFit
+linearFit(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    pca_assert(xs.size() == ys.size());
+    pca_assert(xs.size() >= 2);
+
+    const auto n = static_cast<double>(xs.size());
+    double sx = 0, sy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sx += xs[i];
+        sy += ys[i];
+    }
+    const double mx = sx / n, my = sy / n;
+
+    double sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    pca_assert(sxx > 0);
+
+    LinearFit f;
+    f.n = xs.size();
+    f.slope = sxy / sxx;
+    f.intercept = my - f.slope * mx;
+
+    double ss_res = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double e = ys[i] - (f.intercept + f.slope * xs[i]);
+        ss_res += e * e;
+    }
+    f.r2 = syy > 0 ? 1.0 - ss_res / syy : 1.0;
+    if (xs.size() > 2)
+        f.slopeStderr = std::sqrt(ss_res / (n - 2.0) / sxx);
+    return f;
+}
+
+} // namespace pca::stats

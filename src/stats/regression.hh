@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Ordinary least squares simple linear regression. Sections 5 and 6
+ * of the paper fit regression lines through (loop size, error) and
+ * (loop size, cycles) points; the reported quantity is the slope.
+ */
+
+#ifndef PCA_STATS_REGRESSION_HH
+#define PCA_STATS_REGRESSION_HH
+
+#include <vector>
+
+namespace pca::stats
+{
+
+/** Result of fitting y = intercept + slope * x. */
+struct LinearFit
+{
+    double slope = 0;
+    double intercept = 0;
+    double r2 = 0;          //!< coefficient of determination
+    double slopeStderr = 0; //!< standard error of the slope
+    std::size_t n = 0;
+};
+
+/**
+ * Fit a least-squares line through (x, y) pairs.
+ *
+ * Panics unless xs and ys have equal size >= 2 and xs has nonzero
+ * variance.
+ */
+LinearFit linearFit(const std::vector<double> &xs,
+                    const std::vector<double> &ys);
+
+} // namespace pca::stats
+
+#endif // PCA_STATS_REGRESSION_HH

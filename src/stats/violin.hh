@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Violin-plot data: a kernel-density estimate over a sample, plus an
+ * ASCII renderer. Figure 1 of the paper is a pair of violins.
+ */
+
+#ifndef PCA_STATS_VIOLIN_HH
+#define PCA_STATS_VIOLIN_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "stats/descriptive.hh"
+
+namespace pca::stats
+{
+
+/** Gaussian-kernel density estimate evaluated on a regular grid. */
+struct Density
+{
+    double lo = 0;           //!< grid start
+    double hi = 0;           //!< grid end
+    double bandwidth = 0;    //!< KDE bandwidth used
+    std::vector<double> at;  //!< density values on the grid
+};
+
+/**
+ * Estimate the density of @p xs with a Gaussian kernel.
+ *
+ * Bandwidth follows Silverman's rule of thumb
+ * (0.9 min(sd, IQR/1.34) n^-1/5), the R density() default family.
+ *
+ * @param xs sample (non-empty)
+ * @param points grid resolution
+ */
+Density kernelDensity(const std::vector<double> &xs, int points = 128);
+
+/** Violin = density + the sample's summary (for the inner box). */
+struct Violin
+{
+    Density density;
+    Summary summary;
+};
+
+Violin makeViolin(const std::vector<double> &xs, int points = 128);
+
+/**
+ * Render a horizontal ASCII violin: density as bar thickness around a
+ * centre line, with quartile/median markers below.
+ */
+void renderViolin(std::ostream &os, const std::string &label,
+                  const Violin &v, int width = 68, int half_height = 3);
+
+} // namespace pca::stats
+
+#endif // PCA_STATS_VIOLIN_HH

@@ -1,0 +1,69 @@
+#include "support/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pca
+{
+
+namespace
+{
+
+/** Default sink: stderr. */
+class StderrSink : public LogSink
+{
+  public:
+    void
+    emit(const std::string &level, const std::string &msg) override
+    {
+        std::fprintf(stderr, "%s: %s\n", level.c_str(), msg.c_str());
+    }
+};
+
+StderrSink defaultSink;
+LogSink *currentSink = &defaultSink;
+
+} // namespace
+
+LogSink *
+setLogSink(LogSink *sink)
+{
+    LogSink *prev = currentSink;
+    currentSink = sink ? sink : &defaultSink;
+    return prev == &defaultSink ? nullptr : prev;
+}
+
+namespace detail
+{
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    currentSink->emit("panic", cat(file, ":", line, ": ", msg));
+    // Throw rather than abort so tests can exercise panic paths.
+    throw std::logic_error("pca panic: " + msg);
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    currentSink->emit("fatal", cat(file, ":", line, ": ", msg));
+    throw std::runtime_error("pca fatal: " + msg);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    currentSink->emit("warn", msg);
+}
+
+void
+informImpl(const std::string &msg)
+{
+    currentSink->emit("info", msg);
+}
+
+} // namespace detail
+
+} // namespace pca

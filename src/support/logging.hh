@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Error and status reporting, following the gem5 panic/fatal split:
+ * panic() for internal invariant violations (simulator bugs), fatal()
+ * for user errors (bad configuration), warn()/inform() for status.
+ */
+
+#ifndef PCA_SUPPORT_LOGGING_HH
+#define PCA_SUPPORT_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace pca
+{
+
+/** Sink for log output; tests can redirect it. */
+class LogSink
+{
+  public:
+    virtual ~LogSink() = default;
+    /** Receive one formatted log line (no trailing newline). */
+    virtual void emit(const std::string &level, const std::string &msg) = 0;
+};
+
+/** Replace the global log sink; returns the previous one. */
+LogSink *setLogSink(LogSink *sink);
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Concatenate a parameter pack into one string via operator<<. */
+template <typename... Args>
+std::string
+cat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort: an internal invariant was violated (a simulator bug). */
+#define pca_panic(...) \
+    ::pca::detail::panicImpl(__FILE__, __LINE__, \
+                             ::pca::detail::cat(__VA_ARGS__))
+
+/** Exit with error: the condition is the user's fault (bad config). */
+#define pca_fatal(...) \
+    ::pca::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::pca::detail::cat(__VA_ARGS__))
+
+/** Non-fatal warning about questionable behaviour. */
+#define pca_warn(...) \
+    ::pca::detail::warnImpl(::pca::detail::cat(__VA_ARGS__))
+
+/** Informational status message. */
+#define pca_inform(...) \
+    ::pca::detail::informImpl(::pca::detail::cat(__VA_ARGS__))
+
+/** Panic unless @p cond holds. */
+#define pca_assert(cond) \
+    do { \
+        if (!(cond)) \
+            pca_panic("assertion failed: " #cond); \
+    } while (0)
+
+} // namespace pca
+
+#endif // PCA_SUPPORT_LOGGING_HH

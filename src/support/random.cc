@@ -1,0 +1,111 @@
+#include "support/random.hh"
+
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace pca
+{
+
+namespace
+{
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &word : s)
+        word = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s[1] * 5, 7) * 9;
+    const std::uint64_t t = s[1] << 17;
+
+    s[2] ^= s[0];
+    s[3] ^= s[1];
+    s[1] ^= s[2];
+    s[0] ^= s[3];
+    s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextBelow(std::uint64_t bound)
+{
+    pca_assert(bound > 0);
+    // 128-bit multiply-shift scaling; bias is negligible for the
+    // bounds used in the simulator (all far below 2^32).
+    return static_cast<std::uint64_t>(
+        (static_cast<__uint128_t>(next()) * bound) >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::nextExponential(double mean)
+{
+    double u = nextDouble();
+    // Guard against log(0).
+    if (u <= 0.0)
+        u = 0x1.0p-53;
+    return -mean * std::log(u);
+}
+
+double
+Rng::nextGaussian()
+{
+    if (haveSpareGaussian) {
+        haveSpareGaussian = false;
+        return spareGaussian;
+    }
+    double u1 = nextDouble();
+    double u2 = nextDouble();
+    if (u1 <= 0.0)
+        u1 = 0x1.0p-53;
+    double r = std::sqrt(-2.0 * std::log(u1));
+    double theta = 2.0 * M_PI * u2;
+    spareGaussian = r * std::sin(theta);
+    haveSpareGaussian = true;
+    return r * std::cos(theta);
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+std::uint64_t
+mixSeed(std::uint64_t a, std::uint64_t b)
+{
+    std::uint64_t x = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+    return splitmix64(x);
+}
+
+} // namespace pca

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic element of the simulation (interrupt phases, I/O
+ * interrupt arrivals) draws from a seeded xoshiro256** stream so that
+ * experiments are exactly reproducible: the same ExperimentConfig and
+ * run index always produce the same measurement.
+ */
+
+#ifndef PCA_SUPPORT_RANDOM_HH
+#define PCA_SUPPORT_RANDOM_HH
+
+#include <cstdint>
+
+namespace pca
+{
+
+/**
+ * xoshiro256** generator with splitmix64 seeding.
+ *
+ * Chosen over std::mt19937 because its output for a given seed is
+ * fully specified here (libstdc++'s distributions are not portable),
+ * keeping golden-value tests stable.
+ */
+class Rng
+{
+  public:
+    /** Seed the stream; distinct seeds give independent streams. */
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) via rejection-free scaling. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Exponentially distributed value with the given mean. */
+    double nextExponential(double mean);
+
+    /** Standard normal via Box-Muller. */
+    double nextGaussian();
+
+    /** Bernoulli draw with probability @p p. */
+    bool nextBool(double p);
+
+  private:
+    std::uint64_t s[4];
+    bool haveSpareGaussian = false;
+    double spareGaussian = 0.0;
+};
+
+/** Mix two seed components into one stream seed (order-sensitive). */
+std::uint64_t mixSeed(std::uint64_t a, std::uint64_t b);
+
+} // namespace pca
+
+#endif // PCA_SUPPORT_RANDOM_HH

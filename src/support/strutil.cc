@@ -1,0 +1,91 @@
+#include "support/strutil.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace pca
+{
+
+std::string
+fmtDouble(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+fmtSci(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*e", digits, v);
+    return buf;
+}
+
+std::string
+fmtCount(long long v)
+{
+    bool neg = v < 0;
+    unsigned long long u = neg ? -static_cast<unsigned long long>(v) : v;
+    std::string digits = std::to_string(u);
+    std::string out;
+    int since = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (since == 3) {
+            out.push_back(',');
+            since = 0;
+        }
+        out.push_back(*it);
+        ++since;
+    }
+    if (neg)
+        out.push_back('-');
+    return {out.rbegin(), out.rend()};
+}
+
+std::string
+padLeft(const std::string &s, std::size_t w)
+{
+    if (s.size() >= w)
+        return s;
+    return std::string(w - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, std::size_t w)
+{
+    if (s.size() >= w)
+        return s;
+    return s + std::string(w - s.size(), ' ');
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+repeat(char c, std::size_t n)
+{
+    return std::string(n, c);
+}
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    std::istringstream is(s);
+    while (std::getline(is, cur, delim))
+        out.push_back(cur);
+    return out;
+}
+
+} // namespace pca

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Small string formatting helpers used by reports and benches.
+ */
+
+#ifndef PCA_SUPPORT_STRUTIL_HH
+#define PCA_SUPPORT_STRUTIL_HH
+
+#include <string>
+#include <vector>
+
+namespace pca
+{
+
+/** Format a double with @p digits significant decimal places. */
+std::string fmtDouble(double v, int digits = 3);
+
+/** Format a double in scientific notation with @p digits places. */
+std::string fmtSci(double v, int digits = 2);
+
+/** Format an integer with thousands separators ("1,234,567"). */
+std::string fmtCount(long long v);
+
+/** Left-pad @p s with spaces to width @p w. */
+std::string padLeft(const std::string &s, std::size_t w);
+
+/** Right-pad @p s with spaces to width @p w. */
+std::string padRight(const std::string &s, std::size_t w);
+
+/** Join strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+/** Repeat a character @p n times. */
+std::string repeat(char c, std::size_t n);
+
+/** Split @p s on a delimiter character. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+} // namespace pca
+
+#endif // PCA_SUPPORT_STRUTIL_HH

@@ -1,0 +1,62 @@
+#include "support/table.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+#include "support/strutil.hh"
+
+namespace pca
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : head(std::move(headers))
+{
+    pca_assert(!head.empty());
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != head.size())
+        pca_panic("TextTable row has ", cells.size(), " cells, expected ",
+                  head.size());
+    body.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(head.size());
+    for (std::size_t c = 0; c < head.size(); ++c)
+        widths[c] = head[c].size();
+    for (const auto &row : body)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << padRight(row[c], widths[c]);
+            if (c + 1 < row.size())
+                os << "  ";
+        }
+        os << '\n';
+    };
+
+    emit(head);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << repeat('-', total) << '\n';
+    for (const auto &row : body)
+        emit(row);
+}
+
+void
+TextTable::printCsv(std::ostream &os) const
+{
+    os << join(head, ",") << '\n';
+    for (const auto &row : body)
+        os << join(row, ",") << '\n';
+}
+
+} // namespace pca

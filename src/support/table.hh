@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ASCII table renderer used by benches to print paper-style rows.
+ */
+
+#ifndef PCA_SUPPORT_TABLE_HH
+#define PCA_SUPPORT_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pca
+{
+
+/**
+ * Simple column-aligned text table.
+ *
+ * Usage:
+ * @code
+ * TextTable t({"Mode", "Tool", "Median", "Min"});
+ * t.addRow({"user", "pm", "37", "36"});
+ * t.print(std::cout);
+ * @endcode
+ */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row; must have as many cells as there are headers. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render with a header rule and two-space column gaps. */
+    void print(std::ostream &os) const;
+
+    /** Render as comma-separated values (headers first). */
+    void printCsv(std::ostream &os) const;
+
+    std::size_t rows() const { return body.size(); }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+} // namespace pca
+
+#endif // PCA_SUPPORT_TABLE_HH

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Cross-substrate property tests: the same workload measured through
+ * perfctr, perfmon2, and perf_event must agree on the architecture's
+ * ground truth — all differences must be attributable to each
+ * interface's own overhead.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/machine.hh"
+#include "isa/assembler.hh"
+#include "perfctr/libperfctr.hh"
+#include "perfevent/libperf.hh"
+#include "perfmon/libpfm.hh"
+
+namespace pca
+{
+namespace
+{
+
+using harness::Interface;
+using harness::Machine;
+using harness::MachineConfig;
+using isa::Assembler;
+using isa::Reg;
+
+enum class Substrate
+{
+    Perfctr,
+    Perfmon,
+    PerfEvent,
+};
+
+const char *
+substrateName(Substrate s)
+{
+    switch (s) {
+      case Substrate::Perfctr: return "perfctr";
+      case Substrate::Perfmon: return "perfmon2";
+      case Substrate::PerfEvent: return "perf_event";
+    }
+    return "?";
+}
+
+struct WorkloadCounts
+{
+    Count instructions = 0;
+    Count branches = 0;
+};
+
+/**
+ * Count a 1000-iteration loop's user-mode instructions and branches
+ * through the given substrate, with the capture points bracketing
+ * the loop (read ... loop ... read).
+ */
+WorkloadCounts
+countLoop(Substrate sub, cpu::Processor proc)
+{
+    MachineConfig mc;
+    mc.processor = proc;
+    mc.interruptsEnabled = false;
+    mc.usePerfEvent = sub == Substrate::PerfEvent;
+    mc.iface = sub == Substrate::Perfctr ? Interface::Pc
+                                         : Interface::Pm;
+    Machine m(mc);
+
+    std::vector<Count> c0, c1;
+    Assembler a("main");
+    const std::vector<cpu::EventType> events = {
+        cpu::EventType::InstrRetired, cpu::EventType::BrInstRetired};
+
+    auto emit_loop = [&a]() {
+        a.movImm(Reg::Eax, 0);
+        int loop = a.label();
+        a.addImm(Reg::Eax, 1).cmpImm(Reg::Eax, 1000).jne(loop);
+    };
+
+    switch (sub) {
+      case Substrate::Perfctr:
+      {
+        perfctr::LibPerfctr &lib = *m.libPerfctr();
+        perfctr::ControlSpec spec;
+        spec.events = events;
+        spec.pl = PlMask::User;
+        lib.emitOpen(a);
+        lib.emitControl(a, spec);
+        lib.emitRead(a, spec,
+                     [&c0](const std::vector<Count> &v, Count) {
+                         c0 = v;
+                     });
+        emit_loop();
+        lib.emitRead(a, spec,
+                     [&c1](const std::vector<Count> &v, Count) {
+                         c1 = v;
+                     });
+        break;
+      }
+      case Substrate::Perfmon:
+      {
+        perfmon::LibPfm &lib = *m.libPfm();
+        perfmon::PfmSpec spec;
+        spec.events = events;
+        spec.pl = PlMask::User;
+        lib.emitInitialize(a);
+        lib.emitCreateContext(a);
+        lib.emitWritePmcs(a, spec);
+        lib.emitWritePmds(a, spec);
+        lib.emitStart(a);
+        lib.emitRead(a, spec, [&c0](const std::vector<Count> &v) {
+            c0 = v;
+        });
+        emit_loop();
+        lib.emitRead(a, spec, [&c1](const std::vector<Count> &v) {
+            c1 = v;
+        });
+        break;
+      }
+      case Substrate::PerfEvent:
+      {
+        perfevent::LibPerf &lib = *m.libPerf();
+        perfevent::PerfSpec spec;
+        spec.events = events;
+        spec.pl = PlMask::User;
+        lib.emitOpenAll(a, spec);
+        lib.emitEnable(a);
+        lib.emitReadFast(a, 2, [&c0](const std::vector<Count> &v) {
+            c0 = v;
+        });
+        emit_loop();
+        lib.emitReadFast(a, 2, [&c1](const std::vector<Count> &v) {
+            c1 = v;
+        });
+        break;
+      }
+    }
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+
+    WorkloadCounts out;
+    out.instructions = c1.at(0) - c0.at(0);
+    out.branches = c1.at(1) - c0.at(1);
+    return out;
+}
+
+class CrossSubstrate
+    : public testing::TestWithParam<
+          std::tuple<Substrate, cpu::Processor>>
+{
+};
+
+TEST_P(CrossSubstrate, LoopInstructionsWithinOverheadBound)
+{
+    const auto [sub, proc] = GetParam();
+    const auto counts = countLoop(sub, proc);
+    // 3001 loop instructions + the second read's head (< 450 user
+    // instructions on every substrate).
+    EXPECT_GE(counts.instructions, 3001u);
+    EXPECT_LT(counts.instructions, 3001u + 450u);
+}
+
+TEST_P(CrossSubstrate, BranchCountsAreExactPlusReadBranches)
+{
+    const auto [sub, proc] = GetParam();
+    const auto counts = countLoop(sub, proc);
+    // 1000 loop branches; the read paths contain at most a handful
+    // of branches (retry loop back-edges are not taken on a quiet
+    // machine).
+    EXPECT_GE(counts.branches, 1000u);
+    EXPECT_LT(counts.branches, 1010u);
+}
+
+TEST_P(CrossSubstrate, DeterministicAcrossRuns)
+{
+    const auto [sub, proc] = GetParam();
+    const auto a = countLoop(sub, proc);
+    const auto b = countLoop(sub, proc);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.branches, b.branches);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSubstratesAndProcessors, CrossSubstrate,
+    testing::Combine(testing::Values(Substrate::Perfctr,
+                                     Substrate::Perfmon,
+                                     Substrate::PerfEvent),
+                     testing::Values(cpu::Processor::PentiumD,
+                                     cpu::Processor::Core2Duo,
+                                     cpu::Processor::AthlonX2)),
+    [](const testing::TestParamInfo<
+        std::tuple<Substrate, cpu::Processor>> &info) {
+        return std::string(substrateName(std::get<0>(info.param))) +
+            "_" + cpu::processorCode(std::get<1>(info.param));
+    });
+
+/** User-mode ground truth is substrate independent. */
+TEST(CrossSubstrateInvariants, UserInstructionTruthAgrees)
+{
+    for (auto proc : cpu::allProcessors()) {
+        const auto pc_counts = countLoop(Substrate::Perfctr, proc);
+        const auto pm_counts = countLoop(Substrate::Perfmon, proc);
+        const auto pe_counts = countLoop(Substrate::PerfEvent, proc);
+        // All within each other's overhead envelope.
+        const Count lo = 3001;
+        for (Count v :
+             {pc_counts.instructions, pm_counts.instructions,
+              pe_counts.instructions}) {
+            EXPECT_GE(v, lo);
+            EXPECT_LT(v - lo, 450u);
+        }
+    }
+}
+
+} // namespace
+} // namespace pca

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Unit tests for the ISA module: instructions, assembler, code
+ * blocks, and the two-segment program linker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/codeblock.hh"
+#include "isa/inst.hh"
+#include "isa/program.hh"
+
+namespace pca::isa
+{
+namespace
+{
+
+TEST(Inst, DefaultSizesAreIa32Realistic)
+{
+    EXPECT_EQ(defaultSize(Opcode::MovImm), 5);
+    EXPECT_EQ(defaultSize(Opcode::AddImm), 3);
+    EXPECT_EQ(defaultSize(Opcode::CmpImm), 5);
+    EXPECT_EQ(defaultSize(Opcode::Jne), 2);
+    EXPECT_EQ(defaultSize(Opcode::Nop), 1);
+    EXPECT_EQ(defaultSize(Opcode::HostOp), 0);
+}
+
+TEST(Inst, BranchClassification)
+{
+    EXPECT_TRUE(isBranch(Opcode::Jmp));
+    EXPECT_TRUE(isBranch(Opcode::Jne));
+    EXPECT_TRUE(isCondBranch(Opcode::Jne));
+    EXPECT_FALSE(isCondBranch(Opcode::Jmp));
+    EXPECT_FALSE(isBranch(Opcode::Call));
+    EXPECT_FALSE(isBranch(Opcode::AddImm));
+}
+
+TEST(Inst, NamesExist)
+{
+    EXPECT_STREQ(opcodeName(Opcode::Rdpmc), "rdpmc");
+    EXPECT_STREQ(regName(Reg::Eax), "eax");
+    EXPECT_STREQ(regName(Reg::Esp), "esp");
+}
+
+TEST(Assembler, EmitsPaperLoop)
+{
+    Assembler a("loop");
+    a.movImm(Reg::Eax, 0);
+    int loop = a.label();
+    a.addImm(Reg::Eax, 1).cmpImm(Reg::Eax, 100).jne(loop);
+    CodeBlock b = a.take();
+    ASSERT_EQ(b.size(), 4u);
+    EXPECT_EQ(b.inst(0).op, Opcode::MovImm);
+    EXPECT_EQ(b.inst(3).op, Opcode::Jne);
+}
+
+TEST(Assembler, LabelResolvesToInstructionIndex)
+{
+    Assembler a("blk");
+    a.nop(2);
+    int l = a.label();
+    a.nop(1).jne(l);
+    CodeBlock b = a.take();
+    b.layout(0x1000);
+    EXPECT_EQ(b.inst(3).targetIndex, 2);
+}
+
+TEST(Assembler, ForwardLabelBindsLater)
+{
+    Assembler a("fwd");
+    int skip = a.forwardLabel();
+    a.jmp(skip);
+    a.nop(5);
+    a.bind(skip);
+    a.nop(1);
+    CodeBlock b = a.take();
+    b.layout(0);
+    EXPECT_EQ(b.inst(0).targetIndex, 6);
+}
+
+TEST(Assembler, UnboundLabelPanicsAtLayout)
+{
+    Assembler a("bad");
+    int l = a.forwardLabel();
+    a.jmp(l);
+    CodeBlock b = a.take();
+    EXPECT_THROW(b.layout(0), std::logic_error);
+}
+
+TEST(Assembler, WorkEmitsNops)
+{
+    Assembler a("w");
+    a.work(7);
+    CodeBlock b = a.take();
+    EXPECT_EQ(b.size(), 7u);
+    for (std::size_t i = 0; i < b.size(); ++i)
+        EXPECT_EQ(b.inst(i).op, Opcode::Nop);
+}
+
+TEST(Assembler, HostOpCarriesCallback)
+{
+    Assembler a("h");
+    bool ran = false;
+    a.host([&ran](CpuContext &) { ran = true; });
+    CodeBlock b = a.take();
+    ASSERT_EQ(b.size(), 1u);
+    ASSERT_TRUE(b.inst(0).host);
+    EXPECT_FALSE(ran);
+}
+
+TEST(CodeBlockTest, LayoutAssignsConsecutiveAddresses)
+{
+    Assembler a("addr");
+    a.movImm(Reg::Eax, 0); // 5 bytes
+    int l = a.label();
+    a.addImm(Reg::Eax, 1)  // 3 bytes
+        .cmpImm(Reg::Eax, 9) // 5 bytes
+        .jne(l);             // 2 bytes
+    CodeBlock b = a.take();
+    b.layout(0x08048000);
+    EXPECT_EQ(b.inst(0).addr, 0x08048000u);
+    EXPECT_EQ(b.inst(1).addr, 0x08048005u);
+    EXPECT_EQ(b.inst(2).addr, 0x08048008u);
+    EXPECT_EQ(b.inst(3).addr, 0x0804800du);
+    EXPECT_EQ(b.bytes(), 15u);
+}
+
+TEST(CodeBlockTest, LoopBodyIsTenBytes)
+{
+    // The Figure 3 loop body (add/cmp/jne) spans 10 bytes — the size
+    // that makes 16-byte fetch-window splits placement dependent.
+    Assembler a("loop");
+    a.movImm(Reg::Eax, 0);
+    int l = a.label();
+    a.addImm(Reg::Eax, 1).cmpImm(Reg::Eax, 5).jne(l);
+    CodeBlock b = a.take();
+    b.layout(0);
+    EXPECT_EQ(b.inst(3).addr + static_cast<Addr>(b.inst(3).size) -
+                  b.inst(1).addr,
+              10u);
+}
+
+TEST(CodeBlockTest, DisassembleMentionsOpcodes)
+{
+    Assembler a("d");
+    a.movImm(Reg::Ebx, 7).rdpmc().ret();
+    CodeBlock b = a.take();
+    b.layout(0);
+    const std::string dis = b.disassemble();
+    EXPECT_NE(dis.find("mov_imm ebx, $7"), std::string::npos);
+    EXPECT_NE(dis.find("rdpmc"), std::string::npos);
+}
+
+TEST(ProgramTest, EntryAndFind)
+{
+    Program p;
+    Assembler a("main");
+    a.halt();
+    p.add(a.take());
+    Assembler b("other");
+    b.ret();
+    p.add(b.take());
+    p.link();
+    EXPECT_EQ(p.find("main"), 0);
+    EXPECT_EQ(p.find("other"), 1);
+    EXPECT_EQ(p.find("missing"), -1);
+    EXPECT_EQ(p.entry("other").block, 1);
+    EXPECT_THROW(p.entry("missing"), std::logic_error);
+}
+
+TEST(ProgramTest, DuplicateNamesPanic)
+{
+    Program p;
+    Assembler a1("dup");
+    a1.halt();
+    p.add(a1.take());
+    Assembler a2("dup");
+    a2.halt();
+    EXPECT_THROW(p.add(a2.take()), std::logic_error);
+}
+
+TEST(ProgramTest, BlocksAlignedTo16)
+{
+    Program p;
+    Assembler a("a");
+    a.nop(3); // 3 bytes
+    p.add(a.take());
+    Assembler b("b");
+    b.nop(1);
+    p.add(b.take());
+    p.link(0x1000, 16);
+    EXPECT_EQ(p.block(0).baseAddr(), 0x1000u);
+    EXPECT_EQ(p.block(1).baseAddr(), 0x1010u);
+}
+
+TEST(ProgramTest, TwoSegmentLink)
+{
+    Program p;
+    Assembler k("kernel_blk");
+    k.nop(4);
+    const int kid = p.add(k.take());
+    Assembler u("user_blk");
+    u.nop(4);
+    p.add(u.take());
+    p.setSegment(kid, 1);
+    p.link2(0x08048000, 0xc0000000);
+    EXPECT_EQ(p.block(kid).baseAddr(), 0xc0000000u);
+    EXPECT_EQ(p.block(1).baseAddr(), 0x08048000u);
+}
+
+TEST(ProgramTest, UserOffsetShiftsOnlyUserText)
+{
+    auto build = [](Addr off) {
+        Program p;
+        Assembler k("k");
+        k.nop(4);
+        const int kid = p.add(k.take());
+        p.setSegment(kid, 1);
+        Assembler u("u");
+        u.nop(4);
+        const int uid = p.add(u.take());
+        p.link2(0x08048000 + off, 0xc0000000);
+        return std::pair{p.block(kid).baseAddr(),
+                         p.block(uid).baseAddr()};
+    };
+    const auto [k0, u0] = build(0);
+    const auto [k1, u1] = build(64);
+    EXPECT_EQ(k0, k1);
+    EXPECT_EQ(u1, u0 + 64);
+}
+
+TEST(ProgramTest, InstLookup)
+{
+    Program p;
+    Assembler a("main");
+    a.movImm(Reg::Ecx, 3).halt();
+    p.add(a.take());
+    p.link();
+    EXPECT_EQ(p.inst({0, 0}).op, Opcode::MovImm);
+    EXPECT_EQ(p.inst({0, 1}).op, Opcode::Halt);
+}
+
+} // namespace
+} // namespace pca::isa

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Tests for perfmon2 event-set multiplexing: rotation on timer
+ * ticks, scaled estimates, and their accuracy behaviour (good for
+ * long measurements, useless for short ones — the time-interpolation
+ * issue of Mytkowicz et al., paper §9).
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/machine.hh"
+#include "isa/assembler.hh"
+#include "perfmon/libpfm.hh"
+
+namespace pca::perfmon
+{
+namespace
+{
+
+using harness::Interface;
+using harness::Machine;
+using harness::MachineConfig;
+using isa::Assembler;
+using isa::Reg;
+
+MachineConfig
+machineConfig(bool interrupts)
+{
+    MachineConfig cfg;
+    cfg.processor = cpu::Processor::AthlonX2;
+    cfg.iface = Interface::Pm;
+    cfg.interruptsEnabled = interrupts;
+    cfg.ioInterrupts = false;
+    cfg.preemptProb = 0.0;
+    cfg.seed = 11;
+    return cfg;
+}
+
+kernel::PerfmonMpxSpec
+twoGroupSpec()
+{
+    kernel::PerfmonMpxSpec spec;
+    spec.groups = {
+        {cpu::EventType::InstrRetired, cpu::EventType::BrInstRetired},
+        {cpu::EventType::CpuClkUnhalted, cpu::EventType::IcacheMiss},
+    };
+    spec.pl = PlMask::User;
+    return spec;
+}
+
+struct MpxResult
+{
+    std::vector<double> estimates;
+    int captures = 0;
+};
+
+MpxCapture
+captureTo(MpxResult &r)
+{
+    return [&r](const std::vector<double> &v) {
+        r.estimates = v;
+        ++r.captures;
+    };
+}
+
+/** Run a loop of @p iters under 2-group multiplexing. */
+MpxResult
+runMpxLoop(Count iters, bool interrupts = true)
+{
+    Machine m(machineConfig(interrupts));
+    LibPfm lib(*m.perfmonModule());
+    MpxResult r;
+    Assembler a("main");
+    lib.emitInitialize(a);
+    lib.emitCreateContext(a);
+    lib.emitCreateEventSets(a, twoGroupSpec());
+    lib.emitStartMpx(a);
+    a.movImm(Reg::Eax, 0);
+    int loop = a.label();
+    a.addImm(Reg::Eax, 1)
+        .cmpImm(Reg::Eax, static_cast<std::int64_t>(iters))
+        .jne(loop);
+    lib.emitStopMpx(a);
+    lib.emitReadMpx(a, captureTo(r));
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+    return r;
+}
+
+TEST(Multiplex, EstimateLayoutMatchesGroups)
+{
+    const auto r = runMpxLoop(100000);
+    ASSERT_EQ(r.captures, 1);
+    ASSERT_EQ(r.estimates.size(), 4u); // 2 groups x 2 slots
+}
+
+TEST(Multiplex, LongRunEstimatesInstructionCountWell)
+{
+    // 40M iterations: ~90M cycles on K8 = ~40 timer ticks, i.e.
+    // ~20 rotations per group — enough samples to interpolate.
+    const Count iters = 40000000;
+    const auto r = runMpxLoop(iters);
+    const double true_instr = 1.0 + 3.0 * static_cast<double>(iters);
+    // Slot 0 of group 0 estimates INSTR_RETIRED.
+    EXPECT_NEAR(r.estimates.at(0), true_instr, true_instr * 0.15);
+}
+
+TEST(Multiplex, LongRunEstimatesBranchesWell)
+{
+    const Count iters = 40000000;
+    const auto r = runMpxLoop(iters);
+    EXPECT_NEAR(r.estimates.at(1), static_cast<double>(iters),
+                static_cast<double>(iters) * 0.15);
+}
+
+TEST(Multiplex, CycleEstimateTracksGroupOneToo)
+{
+    const Count iters = 40000000;
+    const auto r = runMpxLoop(iters);
+    // K8 loop: 2-3 cycles/iteration.
+    EXPECT_GT(r.estimates.at(2), 1.5 * static_cast<double>(iters));
+    EXPECT_LT(r.estimates.at(3 - 1),
+              3.5 * static_cast<double>(iters));
+}
+
+TEST(Multiplex, ShortRunOnlySeesLiveGroup)
+{
+    // Without any timer tick inside the window, only group 0 has
+    // data; group 1's estimates are 0 (the short-measurement trap).
+    const auto r = runMpxLoop(2000, /*interrupts=*/false);
+    EXPECT_GT(r.estimates.at(0), 6000.0);
+    EXPECT_EQ(r.estimates.at(2), 0.0);
+    EXPECT_EQ(r.estimates.at(3), 0.0);
+}
+
+TEST(Multiplex, EstimateErrorShrinksWithDuration)
+{
+    auto rel_err = [](Count iters) {
+        const auto r = runMpxLoop(iters);
+        const double truth = 1.0 + 3.0 * static_cast<double>(iters);
+        return std::abs(r.estimates.at(0) - truth) / truth;
+    };
+    // One tick vs dozens of ticks.
+    const double short_err = rel_err(3000000);
+    const double long_err = rel_err(60000000);
+    EXPECT_LT(long_err, short_err + 1e-9);
+    EXPECT_LT(long_err, 0.1);
+}
+
+TEST(Multiplex, RotationHappens)
+{
+    Machine m(machineConfig(true));
+    LibPfm lib(*m.perfmonModule());
+    MpxResult r;
+    Assembler a("main");
+    lib.emitInitialize(a);
+    lib.emitCreateContext(a);
+    lib.emitCreateEventSets(a, twoGroupSpec());
+    lib.emitStartMpx(a);
+    a.movImm(Reg::Eax, 0);
+    int loop = a.label();
+    a.addImm(Reg::Eax, 1).cmpImm(Reg::Eax, 20000000).jne(loop);
+    a.host([&m](isa::CpuContext &) {
+        EXPECT_GT(m.perfmonModule()->mpxTicks(), 5u);
+    });
+    lib.emitStopMpx(a);
+    lib.emitReadMpx(a, captureTo(r));
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+    EXPECT_TRUE(m.perfmonModule()->multiplexing());
+}
+
+TEST(Multiplex, DedicatedCountingUnaffectedByMpxApi)
+{
+    // A non-multiplexed session still works after the mpx syscalls
+    // exist (no registration clashes).
+    Machine m(machineConfig(false));
+    LibPfm lib(*m.perfmonModule());
+    PfmSpec spec;
+    spec.events = {cpu::EventType::InstrRetired};
+    spec.pl = PlMask::User;
+    std::vector<Count> vals;
+    Assembler a("main");
+    lib.emitInitialize(a);
+    lib.emitCreateContext(a);
+    lib.emitWritePmcs(a, spec);
+    lib.emitWritePmds(a, spec);
+    lib.emitStart(a);
+    a.nop(100);
+    lib.emitRead(a, spec, [&vals](const std::vector<Count> &v) {
+        vals = v;
+    });
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+    ASSERT_EQ(vals.size(), 1u);
+    EXPECT_GE(vals[0], 100u);
+}
+
+TEST(Multiplex, CreateEvtsetsRequiresContext)
+{
+    Machine m(machineConfig(false));
+    LibPfm lib(*m.perfmonModule());
+    Assembler a("main");
+    lib.emitCreateEventSets(a, twoGroupSpec()); // no context
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    EXPECT_THROW(m.run(), std::logic_error);
+}
+
+TEST(Multiplex, OversizedGroupPanics)
+{
+    Machine m(machineConfig(false));
+    LibPfm lib(*m.perfmonModule());
+    kernel::PerfmonMpxSpec bad;
+    bad.groups = {{cpu::EventType::InstrRetired,
+                   cpu::EventType::BrInstRetired,
+                   cpu::EventType::IcacheMiss,
+                   cpu::EventType::ItlbMiss,
+                   cpu::EventType::DcacheAccess}}; // K8 has 4 ctrs
+    Assembler a("main");
+    lib.emitInitialize(a);
+    lib.emitCreateContext(a);
+    lib.emitCreateEventSets(a, bad);
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    EXPECT_THROW(m.run(), std::logic_error);
+}
+
+} // namespace
+} // namespace pca::perfmon

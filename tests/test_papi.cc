@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Tests for the PAPI layer: preset mapping, low-level and high-level
+ * APIs on both substrates, and layering overhead ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/machine.hh"
+#include "isa/assembler.hh"
+#include "papi/papi.hh"
+
+namespace pca::papi
+{
+namespace
+{
+
+using harness::Interface;
+using harness::Machine;
+using harness::MachineConfig;
+using isa::Assembler;
+using isa::Reg;
+
+TEST(Preset, NamesFollowPapiConvention)
+{
+    EXPECT_STREQ(presetName(Preset::TotIns), "PAPI_TOT_INS");
+    EXPECT_STREQ(presetName(Preset::TotCyc), "PAPI_TOT_CYC");
+    EXPECT_STREQ(presetName(Preset::L1Icm), "PAPI_L1_ICM");
+}
+
+TEST(Preset, MapsToNativeEvents)
+{
+    for (auto proc : cpu::allProcessors()) {
+        EXPECT_EQ(presetToNative(Preset::TotIns, proc),
+                  cpu::EventType::InstrRetired);
+        EXPECT_EQ(presetToNative(Preset::BrMsp, proc),
+                  cpu::EventType::BrMispRetired);
+    }
+}
+
+TEST(Preset, NativeNamesAreVendorSpecific)
+{
+    EXPECT_EQ(nativeEventName(Preset::TotIns,
+                              cpu::Processor::AthlonX2),
+              "RETIRED_INSTRUCTIONS");
+    EXPECT_EQ(nativeEventName(Preset::TotIns,
+                              cpu::Processor::Core2Duo),
+              "INST_RETIRED.ANY_P");
+    EXPECT_NE(nativeEventName(Preset::TotCyc,
+                              cpu::Processor::PentiumD),
+              nativeEventName(Preset::TotCyc,
+                              cpu::Processor::AthlonX2));
+}
+
+TEST(Preset, InverseMappingRoundTrips)
+{
+    for (Preset p : {Preset::TotIns, Preset::TotCyc, Preset::BrIns,
+                     Preset::BrMsp, Preset::L1Icm, Preset::TlbIm,
+                     Preset::HwInt}) {
+        EXPECT_EQ(presetForEvent(presetToNative(
+                      p, cpu::Processor::Core2Duo)),
+                  p);
+    }
+}
+
+MachineConfig
+quiet(Interface iface)
+{
+    MachineConfig cfg;
+    cfg.processor = cpu::Processor::AthlonX2;
+    cfg.iface = iface;
+    cfg.interruptsEnabled = false;
+    return cfg;
+}
+
+PapiSpec
+totInsSpec(Domain d = PlMask::UserKernel)
+{
+    PapiSpec s;
+    s.events = {Preset::TotIns};
+    s.domain = d;
+    return s;
+}
+
+struct ReadResult
+{
+    std::vector<Count> values;
+    int captures = 0;
+};
+
+ReadCapture
+captureTo(ReadResult &r)
+{
+    return [&r](const std::vector<Count> &v) {
+        r.values = v;
+        ++r.captures;
+    };
+}
+
+Substrate
+substrateOf(Interface iface)
+{
+    return harness::usesPerfmon(iface) ? Substrate::Perfmon
+                                       : Substrate::Perfctr;
+}
+
+TEST(PapiLowTest, StartReadWorksOnBothSubstrates)
+{
+    for (Interface iface : {Interface::PLpm, Interface::PLpc}) {
+        Machine m(quiet(iface));
+        PapiLow low(substrateOf(iface), cpu::Processor::AthlonX2,
+                    m.libPfm(), m.libPerfctr());
+        ReadResult r0, r1;
+        Assembler a("main");
+        low.emitLibraryInit(a);
+        low.emitCreateEventSet(a, totInsSpec());
+        low.emitStart(a);
+        low.emitRead(a, captureTo(r0));
+        a.nop(300);
+        low.emitRead(a, captureTo(r1));
+        a.halt();
+        m.addUserBlock(a.take());
+        m.finalize();
+        m.run();
+        ASSERT_EQ(r1.captures, 1) << interfaceCode(iface);
+        EXPECT_GE(r1.values.at(0) - r0.values.at(0), 300u);
+    }
+}
+
+TEST(PapiLowTest, StopAndReadFreezes)
+{
+    Machine m(quiet(Interface::PLpm));
+    PapiLow low(Substrate::Perfmon, cpu::Processor::AthlonX2,
+                m.libPfm(), m.libPerfctr());
+    ReadResult stop_vals, later;
+    Assembler a("main");
+    low.emitLibraryInit(a);
+    low.emitCreateEventSet(a, totInsSpec());
+    low.emitStart(a);
+    a.nop(400);
+    low.emitStopAndRead(a, captureTo(stop_vals));
+    a.nop(1000);
+    low.emitRead(a, captureTo(later));
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+    EXPECT_GE(stop_vals.values.at(0), 400u);
+    EXPECT_EQ(stop_vals.values.at(0), later.values.at(0));
+}
+
+TEST(PapiLowTest, ResetZeroes)
+{
+    Machine m(quiet(Interface::PLpm));
+    PapiLow low(Substrate::Perfmon, cpu::Processor::AthlonX2,
+                m.libPfm(), m.libPerfctr());
+    ReadResult r0, r1;
+    Assembler a("main");
+    low.emitLibraryInit(a);
+    low.emitCreateEventSet(a, totInsSpec());
+    low.emitStart(a);
+    a.nop(5000);
+    low.emitRead(a, captureTo(r0));
+    low.emitReset(a);
+    low.emitRead(a, captureTo(r1));
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+    EXPECT_GT(r0.values.at(0), 5000u);
+    EXPECT_LT(r1.values.at(0), r0.values.at(0) / 2);
+}
+
+TEST(PapiHighTest, StartReadStopLifecycle)
+{
+    for (Interface iface : {Interface::PHpm, Interface::PHpc}) {
+        Machine m(quiet(iface));
+        PapiLow low(substrateOf(iface), cpu::Processor::AthlonX2,
+                    m.libPfm(), m.libPerfctr());
+        PapiHigh high(low);
+        ReadResult r1;
+        Assembler a("main");
+        high.emitStartCounters(a, totInsSpec());
+        a.nop(250);
+        high.emitStopCounters(a, captureTo(r1));
+        a.halt();
+        m.addUserBlock(a.take());
+        m.finalize();
+        m.run();
+        ASSERT_EQ(r1.captures, 1) << interfaceCode(iface);
+        EXPECT_GE(r1.values.at(0), 250u);
+    }
+}
+
+TEST(PapiHighTest, ReadCountersResets)
+{
+    Machine m(quiet(Interface::PHpm));
+    PapiLow low(Substrate::Perfmon, cpu::Processor::AthlonX2,
+                m.libPfm(), m.libPerfctr());
+    PapiHigh high(low);
+    ReadResult r1, r2;
+    Assembler a("main");
+    high.emitStartCounters(a, totInsSpec());
+    a.nop(4000);
+    high.emitReadCounters(a, captureTo(r1));
+    // Immediately read again: the first read reset the counters, so
+    // the second sees only the re-read overhead.
+    high.emitReadCounters(a, captureTo(r2));
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+    EXPECT_GT(r1.values.at(0), 4000u);
+    EXPECT_LT(r2.values.at(0), r1.values.at(0) / 2);
+}
+
+/** Measured read-read overhead (user+kernel) for one interface. */
+double
+rrOverhead(Interface iface)
+{
+    Machine m(quiet(iface));
+    const Substrate sub = substrateOf(iface);
+    PapiLow low(sub, cpu::Processor::AthlonX2, m.libPfm(),
+                m.libPerfctr());
+    ReadResult r0, r1;
+    Assembler a("main");
+
+    if (iface == Interface::Pm) {
+        perfmon::LibPfm &lib = *m.libPfm();
+        perfmon::PfmSpec spec;
+        spec.events = {cpu::EventType::InstrRetired};
+        lib.emitInitialize(a);
+        lib.emitCreateContext(a);
+        lib.emitWritePmcs(a, spec);
+        lib.emitWritePmds(a, spec);
+        lib.emitStart(a);
+        lib.emitRead(a, spec, [&](const std::vector<Count> &v) {
+            r0.values = v;
+        });
+        lib.emitRead(a, spec, [&](const std::vector<Count> &v) {
+            r1.values = v;
+        });
+    } else {
+        low.emitLibraryInit(a);
+        low.emitCreateEventSet(a, totInsSpec());
+        low.emitStart(a);
+        low.emitRead(a, captureTo(r0));
+        low.emitRead(a, captureTo(r1));
+    }
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+    return static_cast<double>(r1.values.at(0) - r0.values.at(0));
+}
+
+TEST(PapiLayering, LowLevelCostsMoreThanDirect)
+{
+    // Figure 6: each API layer adds instructions to the error.
+    EXPECT_GT(rrOverhead(Interface::PLpm), rrOverhead(Interface::Pm));
+}
+
+TEST(PapiLowTest, DomainPassesThrough)
+{
+    Machine m(quiet(Interface::PLpm));
+    PapiLow low(Substrate::Perfmon, cpu::Processor::AthlonX2,
+                m.libPfm(), m.libPerfctr());
+    ReadResult r0, r1;
+    Assembler a("main");
+    low.emitLibraryInit(a);
+    low.emitCreateEventSet(a, totInsSpec(PlMask::User));
+    low.emitStart(a);
+    low.emitRead(a, captureTo(r0));
+    a.movImm(Reg::Eax, kernel::sysno::getpid).syscall();
+    low.emitRead(a, captureTo(r1));
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+    // Kernel work from getpid must be invisible in PAPI_DOM_USER.
+    EXPECT_LT(r1.values.at(0) - r0.values.at(0), 600u);
+}
+
+TEST(PapiLowTest, MultiEventSetReadsAllCounters)
+{
+    Machine m(quiet(Interface::PLpc));
+    PapiLow low(Substrate::Perfctr, cpu::Processor::AthlonX2,
+                m.libPfm(), m.libPerfctr());
+    PapiSpec spec;
+    spec.events = {Preset::TotIns, Preset::BrIns};
+    spec.domain = PlMask::User;
+    ReadResult r1;
+    Assembler a("main");
+    low.emitLibraryInit(a);
+    low.emitCreateEventSet(a, spec);
+    low.emitStart(a);
+    a.movImm(Reg::Eax, 0);
+    int loop = a.label();
+    a.addImm(Reg::Eax, 1).cmpImm(Reg::Eax, 40).jne(loop);
+    low.emitRead(a, captureTo(r1));
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+    ASSERT_EQ(r1.values.size(), 2u);
+    EXPECT_GE(r1.values[1], 40u); // branch counter
+    EXPECT_LT(r1.values[1], 50u);
+}
+
+TEST(PapiLowTest, MismatchedSubstratePanics)
+{
+    Machine m(quiet(Interface::PLpm)); // only libpfm exists
+    EXPECT_THROW(PapiLow(Substrate::Perfctr,
+                         cpu::Processor::AthlonX2, m.libPfm(),
+                         m.libPerfctr()),
+                 std::logic_error);
+}
+
+} // namespace
+} // namespace pca::papi

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Tests for the perf_event analogue: fd-per-event lifecycle, group
+ * enable/disable, syscall reads, and the mmap/RDPMC fast read.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/machine.hh"
+#include "isa/assembler.hh"
+#include "perfevent/libperf.hh"
+
+namespace pca::perfevent
+{
+namespace
+{
+
+using harness::Machine;
+using harness::MachineConfig;
+using isa::Assembler;
+using isa::Reg;
+
+MachineConfig
+quiet()
+{
+    MachineConfig cfg;
+    cfg.processor = cpu::Processor::AthlonX2;
+    cfg.usePerfEvent = true;
+    cfg.interruptsEnabled = false;
+    return cfg;
+}
+
+PerfSpec
+instrSpec(PlMask pl = PlMask::User, int extra = 0)
+{
+    PerfSpec s;
+    s.events = {cpu::EventType::InstrRetired};
+    const cpu::EventType menu[] = {cpu::EventType::BrInstRetired,
+                                   cpu::EventType::IcacheMiss,
+                                   cpu::EventType::ItlbMiss};
+    for (int i = 0; i < extra; ++i)
+        s.events.push_back(menu[i % 3]);
+    s.pl = pl;
+    return s;
+}
+
+struct ReadResult
+{
+    std::vector<Count> values;
+    int captures = 0;
+};
+
+ReadCapture
+captureTo(ReadResult &r)
+{
+    return [&r](const std::vector<Count> &v) {
+        r.values = v;
+        ++r.captures;
+    };
+}
+
+TEST(PerfEvent, MachineLoadsModule)
+{
+    Machine m(quiet());
+    EXPECT_NE(m.perfEventModule(), nullptr);
+    EXPECT_NE(m.libPerf(), nullptr);
+    EXPECT_EQ(m.perfmonModule(), nullptr);
+    EXPECT_EQ(m.perfctrModule(), nullptr);
+}
+
+TEST(PerfEvent, OpenEnableReadCountsBenchmark)
+{
+    Machine m(quiet());
+    LibPerf &lib = *m.libPerf();
+    const auto spec = instrSpec();
+    ReadResult r0, r1;
+    Assembler a("main");
+    lib.emitOpenAll(a, spec);
+    lib.emitEnable(a);
+    lib.emitReadAll(a, 1, captureTo(r0));
+    a.nop(500);
+    lib.emitReadAll(a, 1, captureTo(r1));
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+    ASSERT_EQ(r1.captures, 1);
+    const auto delta = r1.values.at(0) - r0.values.at(0);
+    EXPECT_GE(delta, 500u);
+    EXPECT_LT(delta, 700u);
+}
+
+TEST(PerfEvent, OneFdPerEvent)
+{
+    Machine m(quiet());
+    LibPerf &lib = *m.libPerf();
+    Assembler a("main");
+    lib.emitOpenAll(a, instrSpec(PlMask::User, 2));
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+    EXPECT_EQ(m.perfEventModule()->openFds(), 3);
+    EXPECT_EQ(m.perfEventModule()->fd(1).event,
+              cpu::EventType::BrInstRetired);
+    EXPECT_FALSE(m.perfEventModule()->fd(0).enabled);
+}
+
+TEST(PerfEvent, OpeningTooManyEventsPanics)
+{
+    Machine m(quiet());
+    LibPerf &lib = *m.libPerf();
+    Assembler a("main");
+    lib.emitOpenAll(a, instrSpec(PlMask::User, 4)); // 5 > K8's 4
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    EXPECT_THROW(m.run(), std::logic_error);
+}
+
+TEST(PerfEvent, DisableFreezesCounters)
+{
+    Machine m(quiet());
+    LibPerf &lib = *m.libPerf();
+    ReadResult r0, r1;
+    Assembler a("main");
+    lib.emitOpenAll(a, instrSpec());
+    lib.emitEnable(a);
+    a.nop(200);
+    lib.emitDisable(a);
+    lib.emitReadAll(a, 1, captureTo(r0));
+    a.nop(1000);
+    lib.emitReadAll(a, 1, captureTo(r1));
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+    EXPECT_GE(r0.values.at(0), 200u);
+    EXPECT_EQ(r0.values.at(0), r1.values.at(0));
+}
+
+TEST(PerfEvent, FastReadMatchesSyscallRead)
+{
+    Machine m(quiet());
+    LibPerf &lib = *m.libPerf();
+    ReadResult fast, slow;
+    Assembler a("main");
+    lib.emitOpenAll(a, instrSpec());
+    lib.emitEnable(a);
+    a.nop(300);
+    lib.emitDisable(a); // frozen: both reads see the same value
+    lib.emitReadFast(a, 1, captureTo(fast));
+    lib.emitReadAll(a, 1, captureTo(slow));
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+    EXPECT_EQ(fast.values.at(0), slow.values.at(0));
+}
+
+TEST(PerfEvent, FastReadStaysInUserMode)
+{
+    Machine m(quiet());
+    LibPerf &lib = *m.libPerf();
+    ReadResult r;
+    Count kernel_before = 0, kernel_after = 0;
+    Assembler a("main");
+    lib.emitOpenAll(a, instrSpec());
+    lib.emitEnable(a);
+    a.host([&](isa::CpuContext &) {
+        kernel_before = m.core().rawEvents(
+            cpu::EventType::InstrRetired, Mode::Kernel);
+    });
+    lib.emitReadFast(a, 1, captureTo(r));
+    a.host([&](isa::CpuContext &) {
+        kernel_after = m.core().rawEvents(
+            cpu::EventType::InstrRetired, Mode::Kernel);
+    });
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+    EXPECT_EQ(kernel_before, kernel_after);
+    EXPECT_EQ(r.captures, 1);
+}
+
+/** Measured read-read overhead on the primary counter. */
+SCount
+rrOverhead(int nr_events, bool fast)
+{
+    Machine m(quiet());
+    LibPerf &lib = *m.libPerf();
+    ReadResult r0, r1;
+    Assembler a("main");
+    const auto spec =
+        instrSpec(PlMask::UserKernel, nr_events - 1);
+    lib.emitOpenAll(a, spec);
+    lib.emitEnable(a);
+    if (fast) {
+        lib.emitReadFast(a, nr_events, captureTo(r0));
+        lib.emitReadFast(a, nr_events, captureTo(r1));
+    } else {
+        lib.emitReadAll(a, nr_events, captureTo(r0));
+        lib.emitReadAll(a, nr_events, captureTo(r1));
+    }
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+    return static_cast<SCount>(r1.values.at(0)) -
+        static_cast<SCount>(r0.values.at(0));
+}
+
+TEST(PerfEvent, SyscallReadCostsAWholeSyscallPerEvent)
+{
+    const auto e1 = rrOverhead(1, false);
+    const auto e3 = rrOverhead(3, false);
+    // Each extra event adds an entire read() syscall (~400+ instrs
+    // on K8) — far worse than perfmon2's ~111 per PMD.
+    EXPECT_GT((e3 - e1) / 2, 300);
+}
+
+TEST(PerfEvent, FastReadPerEventCostIsSmall)
+{
+    const auto e1 = rrOverhead(1, true);
+    const auto e3 = rrOverhead(3, true);
+    EXPECT_LT((e3 - e1) / 2, 25);
+    // And the fixed cost rivals perfctr's fast read.
+    EXPECT_LT(e1, 120);
+}
+
+TEST(PerfEvent, SwitchOutInPreservesEnables)
+{
+    Machine m(quiet());
+    LibPerf &lib = *m.libPerf();
+    kernel::PerfEventModule &mod = *m.perfEventModule();
+    Assembler a("main");
+    lib.emitOpenAll(a, instrSpec());
+    lib.emitEnable(a);
+    a.host([&](isa::CpuContext &) {
+        const auto seq_before = mod.fd(0).mmapSeq;
+        mod.onSwitchOut(m.core());
+        EXPECT_FALSE(m.core().pmu().progCounter(0).enabled);
+        mod.onSwitchIn(m.core());
+        EXPECT_TRUE(m.core().pmu().progCounter(0).enabled);
+        // The seqlock moved: a racing fast read would retry.
+        EXPECT_GT(mod.fd(0).mmapSeq, seq_before);
+    });
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+}
+
+} // namespace
+} // namespace pca::perfevent

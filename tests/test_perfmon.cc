@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Tests for the perfmon2 stack: kernel module + libpfm, the
+ * syscall-based operation set, and the per-PMD read copy loop.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/machine.hh"
+#include "isa/assembler.hh"
+#include "perfmon/libpfm.hh"
+
+namespace pca::perfmon
+{
+namespace
+{
+
+using harness::Interface;
+using harness::Machine;
+using harness::MachineConfig;
+using isa::Assembler;
+using isa::Reg;
+
+MachineConfig
+quiet(cpu::Processor proc = cpu::Processor::AthlonX2)
+{
+    MachineConfig cfg;
+    cfg.processor = proc;
+    cfg.iface = Interface::Pm;
+    cfg.interruptsEnabled = false;
+    return cfg;
+}
+
+PfmSpec
+instrSpec(PlMask pl = PlMask::UserKernel, int extra = 0)
+{
+    PfmSpec s;
+    s.events = {cpu::EventType::InstrRetired};
+    const cpu::EventType menu[] = {cpu::EventType::BrInstRetired,
+                                   cpu::EventType::IcacheMiss,
+                                   cpu::EventType::ItlbMiss};
+    for (int i = 0; i < extra; ++i)
+        s.events.push_back(menu[i % 3]);
+    s.pl = pl;
+    return s;
+}
+
+struct ReadResult
+{
+    std::vector<Count> values;
+    int captures = 0;
+};
+
+ReadCapture
+captureTo(ReadResult &r)
+{
+    return [&r](const std::vector<Count> &v) {
+        r.values = v;
+        ++r.captures;
+    };
+}
+
+/** Emit the standard session prefix: init, create, pmcs, pmds. */
+void
+emitSession(LibPfm &lib, Assembler &a, const PfmSpec &spec)
+{
+    lib.emitInitialize(a);
+    lib.emitCreateContext(a);
+    lib.emitWritePmcs(a, spec);
+    lib.emitWritePmds(a, spec);
+}
+
+TEST(LibPfmTest, FullSessionCountsBenchmark)
+{
+    Machine m(quiet());
+    LibPfm lib(*m.libPfm());
+    const auto spec = instrSpec();
+    ReadResult r0, r1;
+
+    Assembler a("main");
+    emitSession(lib, a, spec);
+    lib.emitStart(a);
+    lib.emitRead(a, spec, captureTo(r0));
+    a.nop(500);
+    lib.emitRead(a, spec, captureTo(r1));
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+
+    ASSERT_EQ(r0.captures, 1);
+    ASSERT_EQ(r1.captures, 1);
+    const auto delta = r1.values.at(0) - r0.values.at(0);
+    EXPECT_GE(delta, 500u);
+    EXPECT_LT(delta, 1500u); // read overhead includes kernel copies
+}
+
+TEST(LibPfmTest, ReadsGoThroughTheKernel)
+{
+    Machine m(quiet());
+    LibPfm lib(*m.libPfm());
+    const auto spec = instrSpec();
+    ReadResult r0;
+
+    Machine *mp = &m;
+    Assembler a("main");
+    emitSession(lib, a, spec);
+    lib.emitStart(a);
+    const auto before = std::make_shared<Count>(0);
+    a.host([mp, before](isa::CpuContext &) {
+        *before = mp->core().rawEvents(cpu::EventType::InstrRetired,
+                                       Mode::Kernel);
+    });
+    lib.emitRead(a, spec, captureTo(r0));
+    const auto after = std::make_shared<Count>(0);
+    a.host([mp, after](isa::CpuContext &) {
+        *after = mp->core().rawEvents(cpu::EventType::InstrRetired,
+                                      Mode::Kernel);
+    });
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+
+    // perfmon has no user-mode read path.
+    EXPECT_GT(*after, *before + 200);
+}
+
+TEST(LibPfmTest, WritePmdsResetsCounters)
+{
+    Machine m(quiet());
+    LibPfm lib(*m.libPfm());
+    const auto spec = instrSpec();
+    ReadResult r0, r1;
+
+    Assembler a("main");
+    emitSession(lib, a, spec);
+    lib.emitStart(a);
+    a.nop(5000);
+    lib.emitRead(a, spec, captureTo(r0));
+    lib.emitWritePmds(a, spec); // reset
+    lib.emitRead(a, spec, captureTo(r1));
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+
+    EXPECT_GT(r0.values.at(0), 5000u);
+    EXPECT_LT(r1.values.at(0), r0.values.at(0) / 2);
+}
+
+TEST(LibPfmTest, StopFreezesCounters)
+{
+    Machine m(quiet());
+    LibPfm lib(*m.libPfm());
+    const auto spec = instrSpec();
+    ReadResult r0, r1;
+
+    Assembler a("main");
+    emitSession(lib, a, spec);
+    lib.emitStart(a);
+    lib.emitStop(a);
+    lib.emitRead(a, spec, captureTo(r0));
+    a.nop(1000);
+    lib.emitRead(a, spec, captureTo(r1));
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+
+    EXPECT_EQ(r0.values.at(0), r1.values.at(0));
+}
+
+TEST(LibPfmTest, PerCounterReadCostScalesLinearly)
+{
+    // The kernel copies PMDs one at a time: each extra counter adds
+    // ~pmReadPerCtr instructions to the read syscall (Figure 5).
+    auto read_cost = [](int extra) {
+        Machine m(quiet());
+        LibPfm lib(*m.libPfm());
+        const auto spec = instrSpec(PlMask::UserKernel, extra);
+        ReadResult r0, r1;
+        Assembler a("main");
+        emitSession(lib, a, spec);
+        lib.emitStart(a);
+        lib.emitRead(a, spec, captureTo(r0));
+        lib.emitRead(a, spec, captureTo(r1));
+        a.halt();
+        m.addUserBlock(a.take());
+        m.finalize();
+        m.run();
+        return static_cast<double>(r1.values.at(0) - r0.values.at(0));
+    };
+    const double c1 = read_cost(0);
+    const double c2 = read_cost(1);
+    const double c3 = read_cost(2);
+    EXPECT_NEAR(c2 - c1, c3 - c2, 5.0); // linear
+    EXPECT_GT(c2 - c1, 60.0);           // substantial per-counter cost
+}
+
+TEST(LibPfmTest, UserOnlyDomainExcludesReads)
+{
+    Machine m(quiet());
+    LibPfm lib(*m.libPfm());
+    const auto spec = instrSpec(PlMask::User);
+    ReadResult r0, r1;
+
+    Assembler a("main");
+    emitSession(lib, a, spec);
+    lib.emitStart(a);
+    lib.emitRead(a, spec, captureTo(r0));
+    a.nop(100);
+    lib.emitRead(a, spec, captureTo(r1));
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+
+    const auto delta = r1.values.at(0) - r0.values.at(0);
+    // 100 nops + only the *user* side of the read wrappers.
+    EXPECT_GE(delta, 100u);
+    EXPECT_LT(delta, 160u);
+}
+
+TEST(LibPfmTest, StateMachineFlags)
+{
+    Machine m(quiet());
+    kernel::PerfmonModule &mod = *m.perfmonModule();
+    LibPfm lib(mod);
+    const auto spec = instrSpec();
+
+    Assembler a("main");
+    a.host([&](isa::CpuContext &) {
+        EXPECT_FALSE(mod.contextLoaded());
+    });
+    lib.emitInitialize(a);
+    lib.emitCreateContext(a);
+    a.host([&](isa::CpuContext &) {
+        EXPECT_TRUE(mod.contextLoaded());
+        EXPECT_FALSE(mod.started());
+    });
+    lib.emitWritePmcs(a, spec);
+    lib.emitWritePmds(a, spec);
+    lib.emitStart(a);
+    a.host([&](isa::CpuContext &) { EXPECT_TRUE(mod.started()); });
+    lib.emitStop(a);
+    a.host([&](isa::CpuContext &) { EXPECT_FALSE(mod.started()); });
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+}
+
+TEST(LibPfmTest, WritePmcsBeforeCreatePanics)
+{
+    Machine m(quiet());
+    LibPfm lib(*m.libPfm());
+    const auto spec = instrSpec();
+    Assembler a("main");
+    lib.emitWritePmcs(a, spec); // no context yet
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    EXPECT_THROW(m.run(), std::logic_error);
+}
+
+TEST(PerfmonModuleTest, SwitchOutDisablesCounters)
+{
+    Machine m(quiet());
+    kernel::PerfmonModule &mod = *m.perfmonModule();
+    LibPfm lib(mod);
+    const auto spec = instrSpec();
+
+    Assembler a("main");
+    emitSession(lib, a, spec);
+    lib.emitStart(a);
+    a.host([&](isa::CpuContext &) {
+        EXPECT_TRUE(m.core().pmu().progCounter(0).enabled);
+        mod.onSwitchOut(m.core());
+        EXPECT_FALSE(m.core().pmu().progCounter(0).enabled);
+        mod.onSwitchIn(m.core());
+        EXPECT_TRUE(m.core().pmu().progCounter(0).enabled);
+    });
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+}
+
+TEST(PerfmonModuleTest, KernelPathsScaleByProcessor)
+{
+    auto read_kernel_cost = [](cpu::Processor p) {
+        Machine m(quiet(p));
+        LibPfm lib(*m.libPfm());
+        const auto spec = instrSpec();
+        ReadResult r0, r1;
+        Assembler a("main");
+        emitSession(lib, a, spec);
+        lib.emitStart(a);
+        lib.emitRead(a, spec, captureTo(r0));
+        lib.emitRead(a, spec, captureTo(r1));
+        a.halt();
+        m.addUserBlock(a.take());
+        m.finalize();
+        m.run();
+        return r1.values.at(0) - r0.values.at(0);
+    };
+    EXPECT_GT(read_kernel_cost(cpu::Processor::PentiumD),
+              read_kernel_cost(cpu::Processor::Core2Duo));
+    EXPECT_GT(read_kernel_cost(cpu::Processor::Core2Duo),
+              read_kernel_cost(cpu::Processor::AthlonX2));
+}
+
+} // namespace
+} // namespace pca::perfmon

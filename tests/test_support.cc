@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Unit tests for the support module: logging, RNG, string and table
+ * helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/logging.hh"
+#include "support/random.hh"
+#include "support/strutil.hh"
+#include "support/table.hh"
+
+namespace pca
+{
+namespace
+{
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(pca_panic("boom"), std::logic_error);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(pca_fatal("user error"), std::runtime_error);
+}
+
+TEST(Logging, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(pca_assert(1 + 1 == 2));
+}
+
+TEST(Logging, AssertThrowsOnFalse)
+{
+    EXPECT_THROW(pca_assert(1 + 1 == 3), std::logic_error);
+}
+
+class RecordingSink : public LogSink
+{
+  public:
+    void
+    emit(const std::string &level, const std::string &msg) override
+    {
+        lines.push_back(level + ": " + msg);
+    }
+    std::vector<std::string> lines;
+};
+
+TEST(Logging, SinkReceivesWarnAndInform)
+{
+    RecordingSink sink;
+    setLogSink(&sink);
+    pca_warn("something odd");
+    pca_inform("status");
+    setLogSink(nullptr);
+    ASSERT_EQ(sink.lines.size(), 2u);
+    EXPECT_EQ(sink.lines[0], "warn: something odd");
+    EXPECT_EQ(sink.lines[1], "info: status");
+}
+
+TEST(Logging, MessageConcatenatesArguments)
+{
+    RecordingSink sink;
+    setLogSink(&sink);
+    pca_warn("x=", 42, " y=", 3);
+    setLogSink(nullptr);
+    ASSERT_EQ(sink.lines.size(), 1u);
+    EXPECT_EQ(sink.lines[0], "warn: x=42 y=3");
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        const auto v = r.nextBelow(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, NextBelowCoversRange)
+{
+    Rng r(7);
+    std::vector<int> seen(8, 0);
+    for (int i = 0; i < 800; ++i)
+        ++seen[r.nextBelow(8)];
+    for (int bucket : seen)
+        EXPECT_GT(bucket, 50); // roughly uniform
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double v = r.nextDouble();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialHasRequestedMean)
+{
+    Rng r(11);
+    double sum = 0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i)
+        sum += r.nextExponential(100.0);
+    EXPECT_NEAR(sum / n, 100.0, 4.0);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(13);
+    double sum = 0, sq = 0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double v = r.nextGaussian();
+        sum += v;
+        sq += v * v;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.03);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BernoulliProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i)
+        hits += r.nextBool(0.3);
+    EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, MixSeedOrderSensitive)
+{
+    EXPECT_NE(mixSeed(1, 2), mixSeed(2, 1));
+    EXPECT_EQ(mixSeed(1, 2), mixSeed(1, 2));
+}
+
+TEST(Strutil, FmtDouble)
+{
+    EXPECT_EQ(fmtDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtDouble(-1.5, 1), "-1.5");
+    EXPECT_EQ(fmtDouble(2.0, 0), "2");
+}
+
+TEST(Strutil, FmtCount)
+{
+    EXPECT_EQ(fmtCount(0), "0");
+    EXPECT_EQ(fmtCount(999), "999");
+    EXPECT_EQ(fmtCount(1000), "1,000");
+    EXPECT_EQ(fmtCount(1234567), "1,234,567");
+    EXPECT_EQ(fmtCount(-45000), "-45,000");
+}
+
+TEST(Strutil, Padding)
+{
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+}
+
+TEST(Strutil, JoinAndSplit)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ","), "a,b,c");
+    EXPECT_EQ(join({}, ","), "");
+    const auto parts = split("x,y,z", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[1], "y");
+}
+
+TEST(TextTable, AlignsAndCounts)
+{
+    TextTable t({"name", "val"});
+    t.addRow({"a", "1"});
+    t.addRow({"long-name", "22"});
+    EXPECT_EQ(t.rows(), 2u);
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("long-name"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongArity)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::logic_error);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t({"x", "y"});
+    t.addRow({"1", "2"});
+    std::ostringstream os;
+    t.printCsv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+} // namespace
+} // namespace pca
