@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_datasets.dir/dump_datasets.cc.o"
+  "CMakeFiles/dump_datasets.dir/dump_datasets.cc.o.d"
+  "dump_datasets"
+  "dump_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

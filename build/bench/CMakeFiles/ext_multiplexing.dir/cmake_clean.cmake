@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_multiplexing.dir/ext_multiplexing.cc.o"
+  "CMakeFiles/ext_multiplexing.dir/ext_multiplexing.cc.o.d"
+  "ext_multiplexing"
+  "ext_multiplexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_multiplexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_perf_event.dir/ext_perf_event.cc.o"
+  "CMakeFiles/ext_perf_event.dir/ext_perf_event.cc.o.d"
+  "ext_perf_event"
+  "ext_perf_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_perf_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

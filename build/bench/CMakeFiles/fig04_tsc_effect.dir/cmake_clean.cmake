@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_tsc_effect.dir/fig04_tsc_effect.cc.o"
+  "CMakeFiles/fig04_tsc_effect.dir/fig04_tsc_effect.cc.o.d"
+  "fig04_tsc_effect"
+  "fig04_tsc_effect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_tsc_effect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

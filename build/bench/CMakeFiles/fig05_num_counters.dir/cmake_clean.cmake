@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_num_counters.dir/fig05_num_counters.cc.o"
+  "CMakeFiles/fig05_num_counters.dir/fig05_num_counters.cc.o.d"
+  "fig05_num_counters"
+  "fig05_num_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_num_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_tab03_infrastructure.dir/fig06_tab03_infrastructure.cc.o"
+  "CMakeFiles/fig06_tab03_infrastructure.dir/fig06_tab03_infrastructure.cc.o.d"
+  "fig06_tab03_infrastructure"
+  "fig06_tab03_infrastructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_tab03_infrastructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

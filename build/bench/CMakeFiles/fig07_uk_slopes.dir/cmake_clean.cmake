@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_uk_slopes.dir/fig07_uk_slopes.cc.o"
+  "CMakeFiles/fig07_uk_slopes.dir/fig07_uk_slopes.cc.o.d"
+  "fig07_uk_slopes"
+  "fig07_uk_slopes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_uk_slopes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_user_slopes.dir/fig08_user_slopes.cc.o"
+  "CMakeFiles/fig08_user_slopes.dir/fig08_user_slopes.cc.o.d"
+  "fig08_user_slopes"
+  "fig08_user_slopes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_user_slopes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

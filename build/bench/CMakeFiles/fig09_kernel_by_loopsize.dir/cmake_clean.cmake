@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_kernel_by_loopsize.dir/fig09_kernel_by_loopsize.cc.o"
+  "CMakeFiles/fig09_kernel_by_loopsize.dir/fig09_kernel_by_loopsize.cc.o.d"
+  "fig09_kernel_by_loopsize"
+  "fig09_kernel_by_loopsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_kernel_by_loopsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

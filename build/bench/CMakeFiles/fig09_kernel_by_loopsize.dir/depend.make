@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_kernel_by_loopsize.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_cycles_scatter.dir/fig10_cycles_scatter.cc.o"
+  "CMakeFiles/fig10_cycles_scatter.dir/fig10_cycles_scatter.cc.o.d"
+  "fig10_cycles_scatter"
+  "fig10_cycles_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_cycles_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_bimodal_cycles.dir/fig11_bimodal_cycles.cc.o"
+  "CMakeFiles/fig11_bimodal_cycles.dir/fig11_bimodal_cycles.cc.o.d"
+  "fig11_bimodal_cycles"
+  "fig11_bimodal_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_bimodal_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

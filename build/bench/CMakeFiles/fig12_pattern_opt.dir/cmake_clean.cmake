@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_pattern_opt.dir/fig12_pattern_opt.cc.o"
+  "CMakeFiles/fig12_pattern_opt.dir/fig12_pattern_opt.cc.o.d"
+  "fig12_pattern_opt"
+  "fig12_pattern_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_pattern_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relwork_korn.dir/relwork_korn.cc.o"
+  "CMakeFiles/relwork_korn.dir/relwork_korn.cc.o.d"
+  "relwork_korn"
+  "relwork_korn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relwork_korn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

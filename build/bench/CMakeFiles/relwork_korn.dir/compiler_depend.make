@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for relwork_korn.
+# This may be replaced when dependencies are built.

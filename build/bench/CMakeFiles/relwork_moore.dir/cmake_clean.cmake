@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relwork_moore.dir/relwork_moore.cc.o"
+  "CMakeFiles/relwork_moore.dir/relwork_moore.cc.o.d"
+  "relwork_moore"
+  "relwork_moore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relwork_moore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

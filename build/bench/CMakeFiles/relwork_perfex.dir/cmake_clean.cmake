@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relwork_perfex.dir/relwork_perfex.cc.o"
+  "CMakeFiles/relwork_perfex.dir/relwork_perfex.cc.o.d"
+  "relwork_perfex"
+  "relwork_perfex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relwork_perfex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for relwork_perfex.
+# This may be replaced when dependencies are built.

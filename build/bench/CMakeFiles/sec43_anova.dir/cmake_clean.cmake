@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec43_anova.dir/sec43_anova.cc.o"
+  "CMakeFiles/sec43_anova.dir/sec43_anova.cc.o.d"
+  "sec43_anova"
+  "sec43_anova.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec43_anova.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec8_guidelines.dir/sec8_guidelines.cc.o"
+  "CMakeFiles/sec8_guidelines.dir/sec8_guidelines.cc.o.d"
+  "sec8_guidelines"
+  "sec8_guidelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec8_guidelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

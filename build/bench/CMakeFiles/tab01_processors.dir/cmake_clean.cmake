@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab01_processors.dir/tab01_processors.cc.o"
+  "CMakeFiles/tab01_processors.dir/tab01_processors.cc.o.d"
+  "tab01_processors"
+  "tab01_processors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab01_processors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choose_infrastructure.dir/choose_infrastructure.cc.o"
+  "CMakeFiles/choose_infrastructure.dir/choose_infrastructure.cc.o.d"
+  "choose_infrastructure"
+  "choose_infrastructure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choose_infrastructure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for choose_infrastructure.
+# This may be replaced when dependencies are built.

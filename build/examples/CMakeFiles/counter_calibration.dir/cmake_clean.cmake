@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/counter_calibration.dir/counter_calibration.cc.o"
+  "CMakeFiles/counter_calibration.dir/counter_calibration.cc.o.d"
+  "counter_calibration"
+  "counter_calibration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/counter_calibration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_phase_profiling.dir/jit_phase_profiling.cc.o"
+  "CMakeFiles/jit_phase_profiling.dir/jit_phase_profiling.cc.o.d"
+  "jit_phase_profiling"
+  "jit_phase_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_phase_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

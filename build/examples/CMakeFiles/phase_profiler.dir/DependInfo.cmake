@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/phase_profiler.cc" "examples/CMakeFiles/phase_profiler.dir/phase_profiler.cc.o" "gcc" "examples/CMakeFiles/phase_profiler.dir/phase_profiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pca_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/pca_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/pca_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfevent/CMakeFiles/pca_perfevent.dir/DependInfo.cmake"
+  "/root/repo/build/src/papi/CMakeFiles/pca_papi.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfctr/CMakeFiles/pca_perfctr.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmon/CMakeFiles/pca_perfmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/pca_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pca_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pca_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pca_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_profiler.dir/phase_profiler.cc.o"
+  "CMakeFiles/phase_profiler.dir/phase_profiler.cc.o.d"
+  "phase_profiler"
+  "phase_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

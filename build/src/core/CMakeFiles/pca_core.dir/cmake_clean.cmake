@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pca_core.dir/compensate.cc.o"
+  "CMakeFiles/pca_core.dir/compensate.cc.o.d"
+  "CMakeFiles/pca_core.dir/datatable.cc.o"
+  "CMakeFiles/pca_core.dir/datatable.cc.o.d"
+  "CMakeFiles/pca_core.dir/factor_space.cc.o"
+  "CMakeFiles/pca_core.dir/factor_space.cc.o.d"
+  "CMakeFiles/pca_core.dir/guidelines.cc.o"
+  "CMakeFiles/pca_core.dir/guidelines.cc.o.d"
+  "CMakeFiles/pca_core.dir/study.cc.o"
+  "CMakeFiles/pca_core.dir/study.cc.o.d"
+  "libpca_core.a"
+  "libpca_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pca_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/cache.cc" "src/cpu/CMakeFiles/pca_cpu.dir/cache.cc.o" "gcc" "src/cpu/CMakeFiles/pca_cpu.dir/cache.cc.o.d"
+  "/root/repo/src/cpu/core.cc" "src/cpu/CMakeFiles/pca_cpu.dir/core.cc.o" "gcc" "src/cpu/CMakeFiles/pca_cpu.dir/core.cc.o.d"
+  "/root/repo/src/cpu/event.cc" "src/cpu/CMakeFiles/pca_cpu.dir/event.cc.o" "gcc" "src/cpu/CMakeFiles/pca_cpu.dir/event.cc.o.d"
+  "/root/repo/src/cpu/frontend.cc" "src/cpu/CMakeFiles/pca_cpu.dir/frontend.cc.o" "gcc" "src/cpu/CMakeFiles/pca_cpu.dir/frontend.cc.o.d"
+  "/root/repo/src/cpu/microarch.cc" "src/cpu/CMakeFiles/pca_cpu.dir/microarch.cc.o" "gcc" "src/cpu/CMakeFiles/pca_cpu.dir/microarch.cc.o.d"
+  "/root/repo/src/cpu/pmu.cc" "src/cpu/CMakeFiles/pca_cpu.dir/pmu.cc.o" "gcc" "src/cpu/CMakeFiles/pca_cpu.dir/pmu.cc.o.d"
+  "/root/repo/src/cpu/predictor.cc" "src/cpu/CMakeFiles/pca_cpu.dir/predictor.cc.o" "gcc" "src/cpu/CMakeFiles/pca_cpu.dir/predictor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/pca_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pca_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pca_cpu.dir/cache.cc.o"
+  "CMakeFiles/pca_cpu.dir/cache.cc.o.d"
+  "CMakeFiles/pca_cpu.dir/core.cc.o"
+  "CMakeFiles/pca_cpu.dir/core.cc.o.d"
+  "CMakeFiles/pca_cpu.dir/event.cc.o"
+  "CMakeFiles/pca_cpu.dir/event.cc.o.d"
+  "CMakeFiles/pca_cpu.dir/frontend.cc.o"
+  "CMakeFiles/pca_cpu.dir/frontend.cc.o.d"
+  "CMakeFiles/pca_cpu.dir/microarch.cc.o"
+  "CMakeFiles/pca_cpu.dir/microarch.cc.o.d"
+  "CMakeFiles/pca_cpu.dir/pmu.cc.o"
+  "CMakeFiles/pca_cpu.dir/pmu.cc.o.d"
+  "CMakeFiles/pca_cpu.dir/predictor.cc.o"
+  "CMakeFiles/pca_cpu.dir/predictor.cc.o.d"
+  "libpca_cpu.a"
+  "libpca_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pca_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

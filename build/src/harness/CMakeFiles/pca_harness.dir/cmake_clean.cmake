@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pca_harness.dir/counter_api.cc.o"
+  "CMakeFiles/pca_harness.dir/counter_api.cc.o.d"
+  "CMakeFiles/pca_harness.dir/harness.cc.o"
+  "CMakeFiles/pca_harness.dir/harness.cc.o.d"
+  "CMakeFiles/pca_harness.dir/interface.cc.o"
+  "CMakeFiles/pca_harness.dir/interface.cc.o.d"
+  "CMakeFiles/pca_harness.dir/machine.cc.o"
+  "CMakeFiles/pca_harness.dir/machine.cc.o.d"
+  "CMakeFiles/pca_harness.dir/microbench.cc.o"
+  "CMakeFiles/pca_harness.dir/microbench.cc.o.d"
+  "CMakeFiles/pca_harness.dir/pattern.cc.o"
+  "CMakeFiles/pca_harness.dir/pattern.cc.o.d"
+  "CMakeFiles/pca_harness.dir/tool.cc.o"
+  "CMakeFiles/pca_harness.dir/tool.cc.o.d"
+  "libpca_harness.a"
+  "libpca_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pca_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

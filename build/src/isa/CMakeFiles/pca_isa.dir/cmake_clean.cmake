@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pca_isa.dir/assembler.cc.o"
+  "CMakeFiles/pca_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/pca_isa.dir/codeblock.cc.o"
+  "CMakeFiles/pca_isa.dir/codeblock.cc.o.d"
+  "CMakeFiles/pca_isa.dir/inst.cc.o"
+  "CMakeFiles/pca_isa.dir/inst.cc.o.d"
+  "CMakeFiles/pca_isa.dir/program.cc.o"
+  "CMakeFiles/pca_isa.dir/program.cc.o.d"
+  "libpca_isa.a"
+  "libpca_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pca_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

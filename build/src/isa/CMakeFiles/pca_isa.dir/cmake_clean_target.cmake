@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpca_isa.a"
+)

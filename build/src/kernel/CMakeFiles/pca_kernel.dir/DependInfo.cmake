@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/interrupts.cc" "src/kernel/CMakeFiles/pca_kernel.dir/interrupts.cc.o" "gcc" "src/kernel/CMakeFiles/pca_kernel.dir/interrupts.cc.o.d"
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/pca_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/pca_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/perfctr_mod.cc" "src/kernel/CMakeFiles/pca_kernel.dir/perfctr_mod.cc.o" "gcc" "src/kernel/CMakeFiles/pca_kernel.dir/perfctr_mod.cc.o.d"
+  "/root/repo/src/kernel/perfevent_mod.cc" "src/kernel/CMakeFiles/pca_kernel.dir/perfevent_mod.cc.o" "gcc" "src/kernel/CMakeFiles/pca_kernel.dir/perfevent_mod.cc.o.d"
+  "/root/repo/src/kernel/perfmon_mod.cc" "src/kernel/CMakeFiles/pca_kernel.dir/perfmon_mod.cc.o" "gcc" "src/kernel/CMakeFiles/pca_kernel.dir/perfmon_mod.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/pca_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pca_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pca_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

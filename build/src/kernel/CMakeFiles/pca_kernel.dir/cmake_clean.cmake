@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pca_kernel.dir/interrupts.cc.o"
+  "CMakeFiles/pca_kernel.dir/interrupts.cc.o.d"
+  "CMakeFiles/pca_kernel.dir/kernel.cc.o"
+  "CMakeFiles/pca_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/pca_kernel.dir/perfctr_mod.cc.o"
+  "CMakeFiles/pca_kernel.dir/perfctr_mod.cc.o.d"
+  "CMakeFiles/pca_kernel.dir/perfevent_mod.cc.o"
+  "CMakeFiles/pca_kernel.dir/perfevent_mod.cc.o.d"
+  "CMakeFiles/pca_kernel.dir/perfmon_mod.cc.o"
+  "CMakeFiles/pca_kernel.dir/perfmon_mod.cc.o.d"
+  "libpca_kernel.a"
+  "libpca_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pca_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

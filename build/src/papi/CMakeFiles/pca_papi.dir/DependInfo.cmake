@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/papi/papi.cc" "src/papi/CMakeFiles/pca_papi.dir/papi.cc.o" "gcc" "src/papi/CMakeFiles/pca_papi.dir/papi.cc.o.d"
+  "/root/repo/src/papi/papi_preset.cc" "src/papi/CMakeFiles/pca_papi.dir/papi_preset.cc.o" "gcc" "src/papi/CMakeFiles/pca_papi.dir/papi_preset.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/perfctr/CMakeFiles/pca_perfctr.dir/DependInfo.cmake"
+  "/root/repo/build/src/perfmon/CMakeFiles/pca_perfmon.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/pca_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pca_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/pca_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pca_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

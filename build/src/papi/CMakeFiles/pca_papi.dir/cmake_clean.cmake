@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pca_papi.dir/papi.cc.o"
+  "CMakeFiles/pca_papi.dir/papi.cc.o.d"
+  "CMakeFiles/pca_papi.dir/papi_preset.cc.o"
+  "CMakeFiles/pca_papi.dir/papi_preset.cc.o.d"
+  "libpca_papi.a"
+  "libpca_papi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pca_papi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pca_perfctr.dir/libperfctr.cc.o"
+  "CMakeFiles/pca_perfctr.dir/libperfctr.cc.o.d"
+  "libpca_perfctr.a"
+  "libpca_perfctr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pca_perfctr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

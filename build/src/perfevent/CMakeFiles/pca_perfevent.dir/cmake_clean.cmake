@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pca_perfevent.dir/libperf.cc.o"
+  "CMakeFiles/pca_perfevent.dir/libperf.cc.o.d"
+  "libpca_perfevent.a"
+  "libpca_perfevent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pca_perfevent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pca_perfmon.dir/libpfm.cc.o"
+  "CMakeFiles/pca_perfmon.dir/libpfm.cc.o.d"
+  "libpca_perfmon.a"
+  "libpca_perfmon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pca_perfmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

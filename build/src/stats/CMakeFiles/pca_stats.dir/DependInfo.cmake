@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/anova.cc" "src/stats/CMakeFiles/pca_stats.dir/anova.cc.o" "gcc" "src/stats/CMakeFiles/pca_stats.dir/anova.cc.o.d"
+  "/root/repo/src/stats/boxplot.cc" "src/stats/CMakeFiles/pca_stats.dir/boxplot.cc.o" "gcc" "src/stats/CMakeFiles/pca_stats.dir/boxplot.cc.o.d"
+  "/root/repo/src/stats/descriptive.cc" "src/stats/CMakeFiles/pca_stats.dir/descriptive.cc.o" "gcc" "src/stats/CMakeFiles/pca_stats.dir/descriptive.cc.o.d"
+  "/root/repo/src/stats/distributions.cc" "src/stats/CMakeFiles/pca_stats.dir/distributions.cc.o" "gcc" "src/stats/CMakeFiles/pca_stats.dir/distributions.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/stats/CMakeFiles/pca_stats.dir/histogram.cc.o" "gcc" "src/stats/CMakeFiles/pca_stats.dir/histogram.cc.o.d"
+  "/root/repo/src/stats/regression.cc" "src/stats/CMakeFiles/pca_stats.dir/regression.cc.o" "gcc" "src/stats/CMakeFiles/pca_stats.dir/regression.cc.o.d"
+  "/root/repo/src/stats/violin.cc" "src/stats/CMakeFiles/pca_stats.dir/violin.cc.o" "gcc" "src/stats/CMakeFiles/pca_stats.dir/violin.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pca_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pca_stats.dir/anova.cc.o"
+  "CMakeFiles/pca_stats.dir/anova.cc.o.d"
+  "CMakeFiles/pca_stats.dir/boxplot.cc.o"
+  "CMakeFiles/pca_stats.dir/boxplot.cc.o.d"
+  "CMakeFiles/pca_stats.dir/descriptive.cc.o"
+  "CMakeFiles/pca_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/pca_stats.dir/distributions.cc.o"
+  "CMakeFiles/pca_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/pca_stats.dir/histogram.cc.o"
+  "CMakeFiles/pca_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/pca_stats.dir/regression.cc.o"
+  "CMakeFiles/pca_stats.dir/regression.cc.o.d"
+  "CMakeFiles/pca_stats.dir/violin.cc.o"
+  "CMakeFiles/pca_stats.dir/violin.cc.o.d"
+  "libpca_stats.a"
+  "libpca_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pca_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

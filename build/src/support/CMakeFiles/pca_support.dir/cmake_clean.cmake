@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pca_support.dir/logging.cc.o"
+  "CMakeFiles/pca_support.dir/logging.cc.o.d"
+  "CMakeFiles/pca_support.dir/random.cc.o"
+  "CMakeFiles/pca_support.dir/random.cc.o.d"
+  "CMakeFiles/pca_support.dir/strutil.cc.o"
+  "CMakeFiles/pca_support.dir/strutil.cc.o.d"
+  "CMakeFiles/pca_support.dir/table.cc.o"
+  "CMakeFiles/pca_support.dir/table.cc.o.d"
+  "libpca_support.a"
+  "libpca_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pca_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compensate.dir/test_compensate.cc.o"
+  "CMakeFiles/test_compensate.dir/test_compensate.cc.o.d"
+  "test_compensate"
+  "test_compensate.pdb"
+  "test_compensate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compensate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

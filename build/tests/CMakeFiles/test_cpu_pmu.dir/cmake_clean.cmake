@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_pmu.dir/test_cpu_pmu.cc.o"
+  "CMakeFiles/test_cpu_pmu.dir/test_cpu_pmu.cc.o.d"
+  "test_cpu_pmu"
+  "test_cpu_pmu.pdb"
+  "test_cpu_pmu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

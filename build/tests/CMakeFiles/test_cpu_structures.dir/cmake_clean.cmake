@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpu_structures.dir/test_cpu_structures.cc.o"
+  "CMakeFiles/test_cpu_structures.dir/test_cpu_structures.cc.o.d"
+  "test_cpu_structures"
+  "test_cpu_structures.pdb"
+  "test_cpu_structures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpu_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

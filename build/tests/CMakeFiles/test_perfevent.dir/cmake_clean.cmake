@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfevent.dir/test_perfevent.cc.o"
+  "CMakeFiles/test_perfevent.dir/test_perfevent.cc.o.d"
+  "test_perfevent"
+  "test_perfevent.pdb"
+  "test_perfevent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfevent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

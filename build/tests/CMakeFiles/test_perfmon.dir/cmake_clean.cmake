@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perfmon.dir/test_perfmon.cc.o"
+  "CMakeFiles/test_perfmon.dir/test_perfmon.cc.o.d"
+  "test_perfmon"
+  "test_perfmon.pdb"
+  "test_perfmon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perfmon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

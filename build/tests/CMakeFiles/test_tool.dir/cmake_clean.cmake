@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tool.dir/test_tool.cc.o"
+  "CMakeFiles/test_tool.dir/test_tool.cc.o.d"
+  "test_tool"
+  "test_tool.pdb"
+  "test_tool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

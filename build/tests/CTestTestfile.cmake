@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_pmu[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_structures[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_core[1]_include.cmake")
+include("/root/repo/build/tests/test_cpu_timing[1]_include.cmake")
+include("/root/repo/build/tests/test_kernel[1]_include.cmake")
+include("/root/repo/build/tests/test_perfctr[1]_include.cmake")
+include("/root/repo/build/tests/test_perfmon[1]_include.cmake")
+include("/root/repo/build/tests/test_papi[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
+include("/root/repo/build/tests/test_core_study[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_memhier[1]_include.cmake")
+include("/root/repo/build/tests/test_tool[1]_include.cmake")
+include("/root/repo/build/tests/test_multiplex[1]_include.cmake")
+include("/root/repo/build/tests/test_sampling[1]_include.cmake")
+include("/root/repo/build/tests/test_compensate[1]_include.cmake")
+include("/root/repo/build/tests/test_golden[1]_include.cmake")
+include("/root/repo/build/tests/test_edges[1]_include.cmake")
+include("/root/repo/build/tests/test_perfevent[1]_include.cmake")
+include("/root/repo/build/tests/test_cross_substrate[1]_include.cmake")
