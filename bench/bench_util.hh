@@ -13,6 +13,7 @@
 
 #include "harness/harness.hh"
 #include "harness/microbench.hh"
+#include "obs/env.hh"
 #include "stats/descriptive.hh"
 #include "support/random.hh"
 #include "support/strutil.hh"
@@ -20,10 +21,15 @@
 namespace pca::bench
 {
 
-/** Print the standard exhibit banner. */
+/**
+ * Print the standard exhibit banner. Every bench main calls this
+ * first, so it doubles as the hook that arms the observability layer
+ * from PCA_SPC / PCA_TRACE (a no-op with both unset).
+ */
 inline void
 banner(const std::string &exhibit, const std::string &caption)
 {
+    obs::initObservabilityFromEnv();
     std::cout << std::string(72, '=') << '\n'
               << exhibit << " — " << caption << '\n'
               << std::string(72, '=') << "\n\n";

@@ -38,12 +38,14 @@ main()
                           .tscSettings({true, false})
                           .generate();
         write("null_errors.csv",
-              core::runNullErrorStudy(points, 3, 1));
+              core::runNullErrorStudy(
+                  points, 3, 1, core::StudyObsOptions::fromEnv()));
     }
     {
         core::DurationStudyOptions opt;
         opt.runsPerSize = 5;
         opt.seed = 2;
+        opt.obs = core::StudyObsOptions::fromEnv();
         write("duration_uk.csv", core::runDurationStudy(opt));
         opt.mode = harness::CountingMode::User;
         write("duration_user.csv", core::runDurationStudy(opt));

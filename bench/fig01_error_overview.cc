@@ -30,7 +30,8 @@ main()
                       .counterCounts({1, 2, 4, 18})
                       .tscSettings({true, false})
                       .generate();
-    const auto table = core::runNullErrorStudy(points, 4, 20260704);
+    const auto table = core::runNullErrorStudy(
+        points, 4, 20260704, core::StudyObsOptions::fromEnv());
 
     std::cout << "configurations: " << points.size()
               << ", measurements: " << table.size() << "\n\n";

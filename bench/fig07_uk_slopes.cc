@@ -27,6 +27,7 @@ main()
     opt.loopSizes = {1,       250000,  500000, 1000000,
                      2000000, 4000000};
     opt.seed = 777;
+    opt.obs = core::StudyObsOptions::fromEnv();
     const auto table = core::runDurationStudy(opt);
     const auto slopes = core::errorSlopes(table);
 

@@ -25,6 +25,7 @@ main()
     opt.runsPerSize = 3;
     opt.loopSizes = {1, 250000, 500000, 1000000};
     opt.seed = 888;
+    opt.obs = core::StudyObsOptions::fromEnv();
     const auto slopes = core::errorSlopes(core::runDurationStudy(opt));
 
     TextTable t({"infrastructure", "PD", "CD", "K8"});

@@ -28,7 +28,8 @@ main()
                                    Interface::PLpm, Interface::PLpc})
                       .counterCounts({1, 2, 3, 4})
                       .generate();
-    const auto table = core::runNullErrorStudy(points, 4, 31337);
+    const auto table = core::runNullErrorStudy(
+        points, 4, 31337, core::StudyObsOptions::fromEnv());
     std::cout << "observations: " << table.size() << "\n\n";
 
     const std::vector<std::string> factors = {

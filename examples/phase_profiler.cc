@@ -14,6 +14,8 @@
 
 #include "harness/machine.hh"
 #include "isa/assembler.hh"
+#include "obs/env.hh"
+#include "obs/trace.hh"
 #include "perfmon/libpfm.hh"
 #include "support/strutil.hh"
 #include "support/table.hh"
@@ -55,16 +57,31 @@ main()
     lib.emitCreateContext(a);
     lib.emitSetSampling(a, spec);
 
-    auto emit_phase = [&](Reg counter, Count iters) {
+    // With PCA_TRACE set, each phase also becomes a span in the
+    // virtual-time trace (the marker host-ops are only emitted while
+    // tracing is on, so the untraced program is unchanged).
+    obs::initObservabilityFromEnv();
+    auto emit_phase = [&](Reg counter, Count iters,
+                          const char *name) {
+        if (obs::traceEnabled()) {
+            const std::string n(name);
+            a.host([n](isa::CpuContext &ctx) {
+                obs::tracer().begin(n, "phase", ctx.cycles());
+            });
+        }
         a.movImm(counter, 0);
         int loop = a.label();
         a.addImm(counter, 1)
             .cmpImm(counter, static_cast<std::int64_t>(iters))
             .jne(loop);
+        if (obs::traceEnabled())
+            a.host([](isa::CpuContext &ctx) {
+                obs::tracer().end(ctx.cycles());
+            });
     };
-    emit_phase(Reg::Eax, iters_a);
-    emit_phase(Reg::Ebx, iters_b);
-    emit_phase(Reg::Esi, iters_c);
+    emit_phase(Reg::Eax, iters_a, "phase A");
+    emit_phase(Reg::Ebx, iters_b, "phase B");
+    emit_phase(Reg::Esi, iters_c, "phase C");
 
     lib.emitStop(a);
     lib.emitReadSamples(a, [&samples](const std::vector<Addr> &s) {

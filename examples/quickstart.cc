@@ -13,12 +13,18 @@
 
 #include "harness/harness.hh"
 #include "harness/microbench.hh"
+#include "obs/env.hh"
 
 int
 main()
 {
     using namespace pca;
     using namespace pca::harness;
+
+    // Optional self-instrumentation: PCA_SPC=all dumps the
+    // simulator's software counters at exit, PCA_TRACE=<file> writes
+    // a Perfetto-loadable virtual-time trace.
+    obs::initObservabilityFromEnv();
 
     // 1. Describe the measurement: which simulated processor, which
     //    access infrastructure (one of the paper's six), which
@@ -52,11 +58,14 @@ main()
 
     // 4. The same measurement counting kernel-mode events too: the
     //    error grows (syscalls and interrupt handlers are counted).
+    //    The attribution breaks the error down by cause — its
+    //    components sum to the error exactly.
     cfg.mode = CountingMode::UserKernel;
     const Measurement uk = MeasurementHarness(cfg).measure(loop);
     std::cout << "user+kernel c-delta:   " << uk.delta() << '\n'
               << "user+kernel error:     " << uk.error()
               << " instructions\n"
+              << "error attribution:     " << uk.attribution << '\n'
               << "interrupts during run: " << uk.run.interrupts
               << '\n';
 

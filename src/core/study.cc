@@ -1,8 +1,15 @@
 #include "core/study.hh"
 
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+
 #include "harness/microbench.hh"
+#include "obs/attribution.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
+#include "support/strutil.hh"
 
 namespace pca::core
 {
@@ -13,42 +20,205 @@ using harness::LoopBench;
 using harness::MeasurementHarness;
 using harness::NullBench;
 
+StudyObsOptions
+StudyObsOptions::fromEnv()
+{
+    StudyObsOptions opt;
+    const char *spec = std::getenv("PCA_STUDY_OBS");
+    if (!spec || !*spec)
+        return opt;
+    const std::string s(spec);
+    if (s == "none")
+        return opt;
+    if (s == "all") {
+        opt.attributionColumns = opt.progress = opt.metrics = true;
+        return opt;
+    }
+    for (const std::string &item : split(s, ',')) {
+        if (item == "attr")
+            opt.attributionColumns = true;
+        else if (item == "progress")
+            opt.progress = true;
+        else if (item == "metrics")
+            opt.metrics = true;
+        else if (!item.empty())
+            pca_warn("PCA_STUDY_OBS: unknown option '", item, "'");
+    }
+    return opt;
+}
+
+namespace
+{
+
+/**
+ * Progress/ETA reporting and JSONL metrics for a study's point loop.
+ * One instance per study invocation; everything is inert unless the
+ * corresponding StudyObsOptions flag is set.
+ */
+class StudyObserver
+{
+  public:
+    StudyObserver(const StudyObsOptions &opt, const char *study,
+                  std::size_t total_points)
+        : opt(opt), study(study), totalPoints(total_points),
+          start(std::chrono::steady_clock::now())
+    {
+    }
+
+    /** Report one finished factor point and its per-run errors. */
+    void
+    pointDone(const std::string &label,
+              const std::vector<double> &values)
+    {
+        ++donePoints;
+        totalRuns += values.size();
+        if (opt.metrics && !values.empty()) {
+            double lo = std::numeric_limits<double>::infinity();
+            double hi = -lo, sum = 0;
+            for (double v : values) {
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+                sum += v;
+            }
+            pca_metric("{\"study\":\"", study, "\",\"point\":\"",
+                       label, "\",\"runs\":", values.size(),
+                       ",\"mean\":",
+                       sum / static_cast<double>(values.size()),
+                       ",\"min\":", lo, ",\"max\":", hi, "}");
+        }
+        if (opt.progress) {
+            const double frac = totalPoints == 0
+                ? 1.0
+                : static_cast<double>(donePoints) /
+                    static_cast<double>(totalPoints);
+            const double elapsed = elapsedSec();
+            const double eta = frac > 0
+                ? elapsed * (1.0 - frac) / frac
+                : 0.0;
+            pca_inform(study, ": ", donePoints, "/", totalPoints,
+                       " points (", fmtDouble(100.0 * frac, 1),
+                       "%), elapsed ", fmtDouble(elapsed, 1),
+                       "s, eta ", fmtDouble(eta, 1), "s");
+        }
+    }
+
+    /** Emit the end-of-study summary record. */
+    void
+    finish()
+    {
+        if (opt.metrics)
+            pca_metric("{\"study\":\"", study,
+                       "\",\"summary\":true,\"points\":", donePoints,
+                       ",\"runs\":", totalRuns, ",\"elapsed_s\":",
+                       fmtDouble(elapsedSec(), 3), "}");
+    }
+
+  private:
+    double
+    elapsedSec() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    }
+
+    StudyObsOptions opt;
+    const char *study;
+    std::size_t totalPoints;
+    std::size_t donePoints = 0;
+    std::size_t totalRuns = 0;
+    std::chrono::steady_clock::time_point start;
+};
+
+/** The four attribution key columns, in table order. */
+void
+appendAttrColumns(std::vector<std::string> &cols)
+{
+    cols.insert(cols.end(),
+                {"attr_pattern", "attr_timer", "attr_io",
+                 "attr_preempt"});
+}
+
+void
+appendAttrKeys(std::vector<std::string> &keys,
+               const obs::ErrorAttribution &a)
+{
+    keys.push_back(std::to_string(a.patternOverhead));
+    keys.push_back(std::to_string(a.timerInterrupts));
+    keys.push_back(std::to_string(a.ioInterrupts));
+    keys.push_back(std::to_string(a.preemption));
+}
+
+} // namespace
+
 DataTable
 runNullErrorStudy(const std::vector<FactorPoint> &points,
-                  int runs_per_point, std::uint64_t seed)
+                  int runs_per_point, std::uint64_t seed,
+                  const StudyObsOptions &obs_opt)
 {
     pca_assert(runs_per_point >= 1);
-    DataTable table({"processor", "interface", "pattern", "mode",
-                     "opt", "nctrs", "tsc", "run"},
-                    "error");
+    std::vector<std::string> cols{"processor", "interface",
+                                  "pattern",   "mode",
+                                  "opt",       "nctrs",
+                                  "tsc",       "run"};
+    if (obs_opt.attributionColumns)
+        appendAttrColumns(cols);
+    DataTable table(cols, "error");
+    StudyObserver observer(obs_opt, "null_error", points.size());
     const NullBench bench;
     std::uint64_t point_id = 0;
     for (const FactorPoint &p : points) {
         ++point_id;
+        std::vector<double> point_errors;
         for (int r = 0; r < runs_per_point; ++r) {
             HarnessConfig cfg = p.toHarnessConfig(
                 mixSeed(seed, point_id * 1000 +
                                   static_cast<std::uint64_t>(r)));
             const auto m = MeasurementHarness(cfg).measure(bench);
-            table.add(
-                {cpu::processorCode(p.processor),
-                 harness::interfaceCode(p.iface),
-                 harness::patternName(p.pattern),
-                 harness::countingModeName(p.mode),
-                 "O" + std::to_string(p.optLevel),
-                 std::to_string(p.numCounters),
-                 p.tsc ? "on" : "off", std::to_string(r)},
-                static_cast<double>(m.error()));
+            std::vector<std::string> keys{
+                cpu::processorCode(p.processor),
+                harness::interfaceCode(p.iface),
+                harness::patternName(p.pattern),
+                harness::countingModeName(p.mode),
+                "O" + std::to_string(p.optLevel),
+                std::to_string(p.numCounters),
+                p.tsc ? "on" : "off",
+                std::to_string(r)};
+            if (obs_opt.attributionColumns)
+                appendAttrKeys(keys, m.attribution);
+            table.add(keys, static_cast<double>(m.error()));
+            point_errors.push_back(static_cast<double>(m.error()));
         }
+        observer.pointDone(
+            detail::cat(cpu::processorCode(p.processor), "/",
+                        harness::interfaceCode(p.iface), "/",
+                        harness::patternName(p.pattern), "/",
+                        harness::countingModeName(p.mode), "/O",
+                        p.optLevel, "/n", p.numCounters, "/tsc=",
+                        p.tsc ? "on" : "off"),
+            point_errors);
     }
+    observer.finish();
     return table;
 }
 
 DataTable
 runDurationStudy(const DurationStudyOptions &opt)
 {
-    DataTable table({"processor", "interface", "loopsize", "run"},
-                    "error");
+    std::vector<std::string> cols{"processor", "interface",
+                                  "loopsize", "run"};
+    if (opt.obs.attributionColumns)
+        appendAttrColumns(cols);
+    DataTable table(cols, "error");
+
+    std::size_t supported = 0;
+    for (Interface iface : opt.interfaces)
+        if (harness::patternSupported(iface, opt.pattern))
+            ++supported;
+    StudyObserver observer(
+        opt.obs, "duration",
+        opt.processors.size() * supported * opt.loopSizes.size());
+
     std::uint64_t point_id = 0;
     for (cpu::Processor proc : opt.processors) {
         for (Interface iface : opt.interfaces) {
@@ -56,6 +226,7 @@ runDurationStudy(const DurationStudyOptions &opt)
                 continue;
             for (Count size : opt.loopSizes) {
                 const LoopBench bench(size);
+                std::vector<double> point_errors;
                 for (int r = 0; r < opt.runsPerSize; ++r) {
                     ++point_id;
                     HarnessConfig cfg;
@@ -66,15 +237,26 @@ runDurationStudy(const DurationStudyOptions &opt)
                     cfg.seed = mixSeed(opt.seed, point_id);
                     const auto m =
                         MeasurementHarness(cfg).measure(bench);
-                    table.add({cpu::processorCode(proc),
-                               harness::interfaceCode(iface),
-                               std::to_string(size),
-                               std::to_string(r)},
+                    std::vector<std::string> keys{
+                        cpu::processorCode(proc),
+                        harness::interfaceCode(iface),
+                        std::to_string(size), std::to_string(r)};
+                    if (opt.obs.attributionColumns)
+                        appendAttrKeys(keys, m.attribution);
+                    table.add(keys,
                               static_cast<double>(m.error()));
+                    point_errors.push_back(
+                        static_cast<double>(m.error()));
                 }
+                observer.pointDone(
+                    detail::cat(cpu::processorCode(proc), "/",
+                                harness::interfaceCode(iface),
+                                "/size=", size),
+                    point_errors);
             }
         }
     }
+    observer.finish();
     return table;
 }
 

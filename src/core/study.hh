@@ -20,13 +20,43 @@ namespace pca::core
 {
 
 /**
+ * Observability options shared by the canned studies. All default to
+ * off, leaving study output and table schemas exactly as before.
+ */
+struct StudyObsOptions
+{
+    /**
+     * Append per-run error-attribution key columns (attr_pattern,
+     * attr_timer, attr_io, attr_preempt) to the result table.
+     */
+    bool attributionColumns = false;
+
+    /** Report progress and an ETA through the LogSink (inform). */
+    bool progress = false;
+
+    /**
+     * Emit one JSONL record per factor point plus a final summary
+     * through the LogSink at level "metric".
+     */
+    bool metrics = false;
+
+    /**
+     * Parse PCA_STUDY_OBS: "all", "none"/unset, or a comma list of
+     * "attr", "progress", "metrics".
+     */
+    static StudyObsOptions fromEnv();
+};
+
+/**
  * Measure the null benchmark at every factor point, several runs
  * each. Columns: processor, interface, pattern, mode, opt, nctrs,
- * tsc, run. Value: measurement error in instructions.
+ * tsc, run (plus the attribution columns when enabled). Value:
+ * measurement error in instructions.
  */
 DataTable runNullErrorStudy(const std::vector<FactorPoint> &points,
                             int runs_per_point,
-                            std::uint64_t seed = 42);
+                            std::uint64_t seed = 42,
+                            const StudyObsOptions &obs = {});
 
 /** Options for the loop-duration study (§5). */
 struct DurationStudyOptions
@@ -41,6 +71,7 @@ struct DurationStudyOptions
     harness::AccessPattern pattern = harness::AccessPattern::StartRead;
     int runsPerSize = 5;
     std::uint64_t seed = 42;
+    StudyObsOptions obs;
 };
 
 /**

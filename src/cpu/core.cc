@@ -1,5 +1,7 @@
 #include "cpu/core.hh"
 
+#include "obs/spc.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 
 namespace pca::cpu
@@ -203,6 +205,8 @@ Core::step()
     rawEv[static_cast<std::size_t>(EventType::InstrRetired)]
          [static_cast<std::size_t>(mode_at_fetch)] += 1;
     pmuUnit.count(EventType::InstrRetired, mode_at_fetch, 1);
+    if (mode_at_fetch == Mode::Kernel)
+        PCA_SPC_INC(KernelInstrs);
 
     if (!pcRedirected)
         ++pc.index;
@@ -411,8 +415,14 @@ Core::execute(const Inst &in)
         if (!syscallEntry.valid())
             pca_panic("syscall with no kernel attached");
         trapStack.push_back({CodePtr{pc.block, pc.index + 1},
-                             curMode, false, zeroFlag, lessFlag});
+                             curMode, false, zeroFlag, lessFlag,
+                             pmuUnit.attrClass()});
         curMode = Mode::Kernel;
+        // Kernel work from here until iret is the pattern's own
+        // syscall service: charge it to the Syscall class.
+        pmuUnit.setAttrClass(obs::AttrClass::Syscall);
+        if (obs::traceEnabled())
+            obs::tracer().begin("syscall", "kernel", cycleCount);
         chargeCycles(static_cast<Cycles>(archRef.syscallEntryCycles));
         pc = syscallEntry;
         pcRedirected = true;
@@ -428,6 +438,9 @@ Core::execute(const Inst &in)
         if (saved.fromInterrupt)
             activeVector = -1;
         curMode = saved.mode;
+        pmuUnit.setAttrClass(saved.attrCls);
+        if (obs::traceEnabled())
+            obs::tracer().end(cycleCount);
         zeroFlag = saved.zeroFlag;
         lessFlag = saved.lessFlag;
         pc = saved.pc;
@@ -457,8 +470,20 @@ void
 Core::deliverInterrupt(int vector)
 {
     interruptedAddr = program->inst(pc).addr;
-    trapStack.push_back({pc, curMode, true, zeroFlag, lessFlag});
+    trapStack.push_back(
+        {pc, curMode, true, zeroFlag, lessFlag, pmuUnit.attrClass()});
     curMode = Mode::Kernel;
+    const obs::AttrClass cls = obs::attrClassForVector(vector);
+    pmuUnit.setAttrClass(cls);
+    switch (cls) {
+      case obs::AttrClass::Timer: PCA_SPC_INC(InterruptsTimer); break;
+      case obs::AttrClass::Io: PCA_SPC_INC(InterruptsIo); break;
+      default: PCA_SPC_INC(InterruptsPmi); break;
+    }
+    if (obs::traceEnabled())
+        obs::tracer().begin(
+            std::string("irq:") + obs::attrClassName(cls), "kernel",
+            cycleCount);
     activeVector = vector;
     ++interruptCount;
     countEvent(EventType::HwInterrupt);
@@ -609,6 +634,7 @@ Core::maybeFastForwardKeyed(std::uint64_t key, const Inst &branch,
                       d_events[e] * ku);
     }
     ffIters += ku;
+    PCA_SPC_ADD(FastForwardIters, ku);
     snapshot(lf); // head reflects post-bulk state
 }
 

@@ -126,6 +126,14 @@ class Core : public isa::CpuContext
     /** Address of the instruction the last interrupt preempted. */
     Addr lastInterruptedAddr() const { return interruptedAddr; }
 
+    /**
+     * Switch the attribution class events are charged to (see
+     * pca::obs::AttrClass). The core switches it itself on trap
+     * entry/exit; the kernel calls this when the scheduler path
+     * diverges from plain interrupt service (preemption).
+     */
+    void setAttrClass(obs::AttrClass c) { pmuUnit.setAttrClass(c); }
+
     /** Counter index of the PMI being serviced (-1 none). */
     int overflowedCounter() const { return pmiCounter; }
 
@@ -153,6 +161,7 @@ class Core : public isa::CpuContext
         bool fromInterrupt;
         bool zeroFlag;
         bool lessFlag;
+        obs::AttrClass attrCls;
     };
 
     /** Per-branch loop fast-forward bookkeeping. */

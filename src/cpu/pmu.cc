@@ -7,7 +7,8 @@ namespace pca::cpu
 
 Pmu::Pmu(const MicroArch &arch)
     : prog(static_cast<std::size_t>(arch.progCounters)),
-      fixed(static_cast<std::size_t>(arch.fixedCounters))
+      fixed(static_cast<std::size_t>(arch.fixedCounters)),
+      readLatch(static_cast<std::size_t>(arch.progCounters))
 {
     // Fixed-function counters have hardwired events (Core2 layout):
     // FIXED_CTR0 = instructions retired, 1 = core cycles, 2 = cycles
@@ -66,12 +67,18 @@ Pmu::wrmsr(std::uint32_t msr, std::uint64_t value)
         return;
     }
     if (msr >= msrPmcBase && msr < msrPmcBase + prog.size()) {
-        prog[msr - msrPmcBase].value = value;
+        Counter &c = prog[msr - msrPmcBase];
+        c.value = value;
+        // A value write re-bases the counter: the class split tracks
+        // only events counted since, so sum(byClass) == value - base.
+        c.byClass.fill(0);
         return;
     }
     if (msr >= msrFixedCtrBase &&
         msr < msrFixedCtrBase + fixed.size()) {
-        fixed[msr - msrFixedCtrBase].value = value;
+        Counter &c = fixed[msr - msrFixedCtrBase];
+        c.value = value;
+        c.byClass.fill(0);
         return;
     }
     if (msr == msrFixedCtrCtrl) {
@@ -119,7 +126,11 @@ Pmu::rdpmc(std::uint64_t select) const
     }
     if (select >= prog.size())
         pca_panic("rdpmc: no programmable counter ", select);
-    return prog[static_cast<std::size_t>(select)].value;
+    const auto i = static_cast<std::size_t>(select);
+    // Latch the class split alongside the value so a capture a few
+    // instructions later can attribute exactly this reading.
+    readLatch[i] = prog[i].byClass;
+    return prog[i].value;
 }
 
 void
@@ -127,17 +138,22 @@ Pmu::count(EventType ev, Mode mode, Count n)
 {
     const auto e = static_cast<std::size_t>(ev);
     const auto m = static_cast<std::size_t>(mode);
+    const auto cls = static_cast<std::size_t>(attrCls);
     for (int i : active[e][m]) {
         Counter &c = prog[static_cast<std::size_t>(i)];
         c.value += n;
+        c.byClass[cls] += n;
         if (c.samplePeriod != 0 && c.value >= c.samplePeriod) {
             // Overflow: re-arm and latch the PMI.
             c.value -= c.samplePeriod;
             pendingMask |= 1ULL << i;
         }
     }
-    for (int i : activeFixed[e][m])
-        fixed[static_cast<std::size_t>(i)].value += n;
+    for (int i : activeFixed[e][m]) {
+        Counter &c = fixed[static_cast<std::size_t>(i)];
+        c.value += n;
+        c.byClass[cls] += n;
+    }
 }
 
 void
@@ -146,6 +162,7 @@ Pmu::setSamplePeriod(int i, Count period)
     Counter &c = prog.at(static_cast<std::size_t>(i));
     c.samplePeriod = period;
     c.value = 0;
+    c.byClass.fill(0);
     if (period != 0)
         armedMask |= 1ULL << i;
     else
@@ -185,7 +202,15 @@ Pmu::fixedCounter(int i) const
 void
 Pmu::setProgValue(int i, Count v)
 {
+    // Context restore: the counter logically continues, so the class
+    // split is preserved (unlike a wrmsr reset).
     prog.at(static_cast<std::size_t>(i)).value = v;
+}
+
+const obs::AttrCounts &
+Pmu::attrLatch(int i) const
+{
+    return readLatch.at(static_cast<std::size_t>(i));
 }
 
 void
@@ -200,6 +225,9 @@ Pmu::reset()
         fixed[i] = Counter{};
         fixed[i].event = ev;
     }
+    attrCls = obs::AttrClass::User;
+    for (auto &latch : readLatch)
+        latch.fill(0);
     tsc = 0;
     rebuildActive();
 }

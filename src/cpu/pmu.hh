@@ -14,6 +14,7 @@
 
 #include "cpu/event.hh"
 #include "cpu/microarch.hh"
+#include "obs/attribution.hh"
 #include "support/types.hh"
 
 namespace pca::cpu
@@ -84,6 +85,15 @@ class Pmu
         bool enabled = false;
         Count value = 0;
         Count samplePeriod = 0; //!< 0 = counting mode, else sampling
+
+        /**
+         * The counter's value split by the attribution class active
+         * when each event was counted. Writing the counter value
+         * (counter reset) zeroes the split, so sum(byClass) always
+         * equals value - last-written-value: the error-attribution
+         * invariant.
+         */
+        obs::AttrCounts byClass{};
     };
 
     const Counter &progCounter(int i) const;
@@ -91,6 +101,25 @@ class Pmu
 
     /** Directly set a programmable counter value (context restore). */
     void setProgValue(int i, Count v);
+
+    // --- Error attribution (pca::obs) ---
+
+    /**
+     * Execution context subsequent events are charged to. The core
+     * switches it on trap entry/exit; the kernel switches it when the
+     * scheduler preempts the measured thread.
+     */
+    void setAttrClass(obs::AttrClass c) { attrCls = c; }
+    obs::AttrClass attrClass() const { return attrCls; }
+
+    /**
+     * Class split latched by the most recent rdpmc() of programmable
+     * counter @p i — the split that is *value-consistent* with what
+     * that read returned (events counted between the RDPMC and any
+     * later capture point are excluded, exactly as they are excluded
+     * from the read value itself).
+     */
+    const obs::AttrCounts &attrLatch(int i) const;
 
     // --- Sampling (overflow interrupt) support ---
 
@@ -123,6 +152,9 @@ class Pmu
 
     std::vector<Counter> prog;
     std::vector<Counter> fixed;
+    obs::AttrClass attrCls = obs::AttrClass::User;
+    /** Per-prog-counter class split latched at rdpmc time. */
+    mutable std::vector<obs::AttrCounts> readLatch;
     Count tsc = 0;
     std::uint64_t armedMask = 0;   //!< counters armed for sampling
     std::uint64_t pendingMask = 0; //!< counters with pending PMIs

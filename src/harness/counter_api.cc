@@ -41,29 +41,32 @@ toPapiSpec(const ApiConfig &cfg)
 }
 
 perfmon::ReadCapture
-pmCapture(CaptureSink *sink)
+pmCapture(const cpu::Pmu *pmu, CaptureSink *sink)
 {
-    return [sink](const std::vector<Count> &v) {
+    return [pmu, sink](const std::vector<Count> &v) {
         sink->values = v;
+        sink->attr = pmu->attrLatch(0);
         ++sink->captures;
     };
 }
 
 perfctr::ReadCapture
-pcCapture(CaptureSink *sink)
+pcCapture(const cpu::Pmu *pmu, CaptureSink *sink)
 {
-    return [sink](const std::vector<Count> &v, Count tsc) {
+    return [pmu, sink](const std::vector<Count> &v, Count tsc) {
         sink->values = v;
         sink->tsc = tsc;
+        sink->attr = pmu->attrLatch(0);
         ++sink->captures;
     };
 }
 
 papi::ReadCapture
-papiCapture(CaptureSink *sink)
+papiCapture(const cpu::Pmu *pmu, CaptureSink *sink)
 {
-    return [sink](const std::vector<Count> &v) {
+    return [pmu, sink](const std::vector<Count> &v) {
         sink->values = v;
+        sink->attr = pmu->attrLatch(0);
         ++sink->captures;
     };
 }
@@ -72,8 +75,9 @@ papiCapture(CaptureSink *sink)
 class PmApi : public CounterApi
 {
   public:
-    PmApi(perfmon::LibPfm &lib, const ApiConfig &cfg)
-        : lib(lib), spec(toPfmSpec(cfg))
+    PmApi(perfmon::LibPfm &lib, const cpu::Pmu *pmu,
+          const ApiConfig &cfg)
+        : lib(lib), pmu(pmu), spec(toPfmSpec(cfg))
     {
     }
 
@@ -95,18 +99,19 @@ class PmApi : public CounterApi
     void
     emitRead(Assembler &a, CaptureSink *sink) override
     {
-        lib.emitRead(a, spec, pmCapture(sink));
+        lib.emitRead(a, spec, pmCapture(pmu, sink));
     }
 
     void
     emitStopAndRead(Assembler &a, CaptureSink *sink) override
     {
         lib.emitStop(a);
-        lib.emitRead(a, spec, pmCapture(sink));
+        lib.emitRead(a, spec, pmCapture(pmu, sink));
     }
 
   private:
     perfmon::LibPfm &lib;
+    const cpu::Pmu *pmu;
     perfmon::PfmSpec spec;
 };
 
@@ -114,8 +119,9 @@ class PmApi : public CounterApi
 class PcApi : public CounterApi
 {
   public:
-    PcApi(perfctr::LibPerfctr &lib, const ApiConfig &cfg)
-        : lib(lib), spec(toPcSpec(cfg))
+    PcApi(perfctr::LibPerfctr &lib, const cpu::Pmu *pmu,
+          const ApiConfig &cfg)
+        : lib(lib), pmu(pmu), spec(toPcSpec(cfg))
     {
     }
 
@@ -134,18 +140,19 @@ class PcApi : public CounterApi
     void
     emitRead(Assembler &a, CaptureSink *sink) override
     {
-        lib.emitRead(a, spec, pcCapture(sink));
+        lib.emitRead(a, spec, pcCapture(pmu, sink));
     }
 
     void
     emitStopAndRead(Assembler &a, CaptureSink *sink) override
     {
         lib.emitStop(a);
-        lib.emitRead(a, spec, pcCapture(sink));
+        lib.emitRead(a, spec, pcCapture(pmu, sink));
     }
 
   private:
     perfctr::LibPerfctr &lib;
+    const cpu::Pmu *pmu;
     perfctr::ControlSpec spec;
 };
 
@@ -155,7 +162,7 @@ class PapiLowApi : public CounterApi
   public:
     PapiLowApi(papi::Substrate sub, Machine &m, const ApiConfig &cfg)
         : low(sub, m.arch().processor, m.libPfm(), m.libPerfctr()),
-          spec(toPapiSpec(cfg))
+          pmu(&m.core().pmu()), spec(toPapiSpec(cfg))
     {
     }
 
@@ -175,17 +182,18 @@ class PapiLowApi : public CounterApi
     void
     emitRead(Assembler &a, CaptureSink *sink) override
     {
-        low.emitRead(a, papiCapture(sink));
+        low.emitRead(a, papiCapture(pmu, sink));
     }
 
     void
     emitStopAndRead(Assembler &a, CaptureSink *sink) override
     {
-        low.emitStopAndRead(a, papiCapture(sink));
+        low.emitStopAndRead(a, papiCapture(pmu, sink));
     }
 
   private:
     papi::PapiLow low;
+    const cpu::Pmu *pmu;
     papi::PapiSpec spec;
 };
 
@@ -195,7 +203,7 @@ class PapiHighApi : public CounterApi
   public:
     PapiHighApi(papi::Substrate sub, Machine &m, const ApiConfig &cfg)
         : low(sub, m.arch().processor, m.libPfm(), m.libPerfctr()),
-          high(low), spec(toPapiSpec(cfg))
+          high(low), pmu(&m.core().pmu()), spec(toPapiSpec(cfg))
     {
     }
 
@@ -217,13 +225,13 @@ class PapiHighApi : public CounterApi
     emitRead(Assembler &a, CaptureSink *sink) override
     {
         // Read-and-reset: legal only as a measurement's final read.
-        high.emitReadCounters(a, papiCapture(sink));
+        high.emitReadCounters(a, papiCapture(pmu, sink));
     }
 
     void
     emitStopAndRead(Assembler &a, CaptureSink *sink) override
     {
-        high.emitStopCounters(a, papiCapture(sink));
+        high.emitStopCounters(a, papiCapture(pmu, sink));
     }
 
     bool supportsPlainRead() const override { return false; }
@@ -231,6 +239,7 @@ class PapiHighApi : public CounterApi
   private:
     papi::PapiLow low;
     papi::PapiHigh high;
+    const cpu::Pmu *pmu;
     papi::PapiSpec spec;
 };
 
@@ -247,9 +256,11 @@ makeCounterApi(Machine &machine, const ApiConfig &cfg)
 
     switch (iface) {
       case Interface::Pm:
-        return std::make_unique<PmApi>(*machine.libPfm(), cfg);
+        return std::make_unique<PmApi>(
+            *machine.libPfm(), &machine.core().pmu(), cfg);
       case Interface::Pc:
-        return std::make_unique<PcApi>(*machine.libPerfctr(), cfg);
+        return std::make_unique<PcApi>(
+            *machine.libPerfctr(), &machine.core().pmu(), cfg);
       case Interface::PLpm:
       case Interface::PLpc:
         return std::make_unique<PapiLowApi>(sub, machine, cfg);

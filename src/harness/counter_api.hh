@@ -14,6 +14,7 @@
 #include "cpu/event.hh"
 #include "harness/machine.hh"
 #include "isa/assembler.hh"
+#include "obs/attribution.hh"
 #include "support/types.hh"
 
 namespace pca::harness
@@ -25,6 +26,13 @@ struct CaptureSink
     std::vector<Count> values;
     Count tsc = 0;
     int captures = 0;
+
+    /**
+     * Attribution-class split of the slot-0 counter, latched by the
+     * same RDPMC that produced values[0] (value-consistent: the two
+     * deltas between captures agree exactly).
+     */
+    obs::AttrCounts attr{};
 
     /** Primary (slot 0) counter value; 0 if never captured. */
     Count primary() const { return values.empty() ? 0 : values[0]; }

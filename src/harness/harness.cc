@@ -1,6 +1,8 @@
 #include "harness/harness.hh"
 
 #include "isa/assembler.hh"
+#include "obs/spc.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
 
@@ -46,6 +48,25 @@ namespace
 constexpr int prologueWork[4] = {26, 17, 12, 9};
 constexpr int betweenWork[4] = {9, 6, 4, 3};
 constexpr int epilogueWork[4] = {6, 4, 3, 2};
+
+/**
+ * Mark a harness phase in the virtual-time trace. The marker host-ops
+ * are only emitted while tracing is enabled, so with tracing off the
+ * measurement program is bit-for-bit the same.
+ */
+void
+tracePhase(isa::Assembler &a, const char *name, bool begin)
+{
+    if (!obs::traceEnabled())
+        return;
+    std::string n(name);
+    a.host([n, begin](isa::CpuContext &ctx) {
+        if (begin)
+            obs::tracer().begin(n, "harness", ctx.cycles());
+        else
+            obs::tracer().end(ctx.cycles());
+    });
+}
 
 } // namespace
 
@@ -95,34 +116,62 @@ MeasurementHarness::measure(const MicroBenchmark &bench) const
     CaptureSink s0, s1;
     Assembler a("main");
 
-    // Harness scaffolding (outside the measured window).
+    // Harness scaffolding (outside the measured window). The pattern
+    // calls below are straight-line and execute exactly once per
+    // run, so counting them here (emit time) equals counting them at
+    // run time without perturbing the emitted program.
     a.push(Reg::Ebp);
     a.work(prologueWork[cfg.optLevel]);
+    tracePhase(a, "setup", true);
     api->emitSetup(a);
+    tracePhase(a, "setup", false);
+    PCA_SPC_INC(PatternCallsSetup);
     a.work(betweenWork[cfg.optLevel]);
+
+    auto emitStart = [&] {
+        api->emitStart(a);
+        PCA_SPC_INC(PatternCallsStart);
+    };
+    auto emitRead = [&](CaptureSink *sink) {
+        tracePhase(a, "read", true);
+        api->emitRead(a, sink);
+        tracePhase(a, "read", false);
+        PCA_SPC_INC(PatternCallsRead);
+    };
+    auto emitStop = [&](CaptureSink *sink) {
+        tracePhase(a, "stop+read", true);
+        api->emitStopAndRead(a, sink);
+        tracePhase(a, "stop+read", false);
+        PCA_SPC_INC(PatternCallsStop);
+    };
+    auto emitBench = [&] {
+        tracePhase(a, "bench", true);
+        bench.emit(a);
+        tracePhase(a, "bench", false);
+    };
 
     switch (cfg.pattern) {
       case AccessPattern::StartRead:
-        api->emitStart(a);
-        bench.emit(a);
-        api->emitRead(a, &s1);
+        emitStart();
+        emitBench();
+        emitRead(&s1);
         break;
       case AccessPattern::StartStop:
-        api->emitStart(a);
-        bench.emit(a);
-        api->emitStopAndRead(a, &s1);
+        emitStart();
+        emitBench();
+        emitStop(&s1);
         break;
       case AccessPattern::ReadRead:
-        api->emitStart(a);
-        api->emitRead(a, &s0);
-        bench.emit(a);
-        api->emitRead(a, &s1);
+        emitStart();
+        emitRead(&s0);
+        emitBench();
+        emitRead(&s1);
         break;
       case AccessPattern::ReadStop:
-        api->emitStart(a);
-        api->emitRead(a, &s0);
-        bench.emit(a);
-        api->emitStopAndRead(a, &s1);
+        emitStart();
+        emitRead(&s0);
+        emitBench();
+        emitStop(&s1);
         break;
     }
 
@@ -148,6 +197,10 @@ MeasurementHarness::measure(const MicroBenchmark &bench) const
         cfg.mode != CountingMode::Kernel) {
         m.expected = bench.expectedInstructions();
     }
+    m.attribution = obs::attributeError(s0.attr, s1.attr, m.expected);
+    if (m.attribution.patternOverhead > 0)
+        PCA_SPC_ADD(PatternOverheadInstrs,
+                    static_cast<Count>(m.attribution.patternOverhead));
     return m;
 }
 

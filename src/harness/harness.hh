@@ -17,6 +17,7 @@
 #include "harness/machine.hh"
 #include "harness/microbench.hh"
 #include "harness/pattern.hh"
+#include "obs/attribution.hh"
 #include "support/types.hh"
 
 namespace pca::harness
@@ -73,6 +74,14 @@ struct Measurement
 
     /** Whole-run totals from the simulator (ground truth). */
     cpu::RunResult run;
+
+    /**
+     * Decomposition of error() by cause, from the PMU's attribution
+     * class tracking. In UserKernel mode attribution.total() equals
+     * error() exactly (asserted by tests); in User mode the kernel
+     * components are zero by construction.
+     */
+    obs::ErrorAttribution attribution;
 
     /** Measured event count c∆ = c1 - c0. */
     SCount delta() const

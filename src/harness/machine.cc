@@ -1,5 +1,7 @@
 #include "harness/machine.hh"
 
+#include "obs/spc.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 
 namespace pca::harness
@@ -8,6 +10,7 @@ namespace pca::harness
 Machine::Machine(const MachineConfig &cfg)
     : cfg(cfg), archRef(cpu::microArch(cfg.processor))
 {
+    PCA_SPC_INC(MachineBoots);
     coreImpl = std::make_unique<cpu::Core>(archRef);
     kernelImpl = std::make_unique<kernel::Kernel>(
         archRef, cfg.seed, cfg.ioInterrupts);
@@ -64,7 +67,13 @@ cpu::RunResult
 Machine::run(const std::string &entry)
 {
     pca_assert(finalized);
-    return coreImpl->run(prog.entry(entry));
+    PCA_SPC_INC(RunsExecuted);
+    const Cycles t0 = coreImpl->cycles();
+    cpu::RunResult res = coreImpl->run(prog.entry(entry));
+    if (obs::traceEnabled())
+        obs::tracer().complete("run:" + entry, "machine", t0,
+                               coreImpl->cycles() - t0);
+    return res;
 }
 
 } // namespace pca::harness

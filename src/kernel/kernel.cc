@@ -1,6 +1,8 @@
 #include "kernel/kernel.hh"
 
 #include "isa/assembler.hh"
+#include "obs/spc.hh"
+#include "obs/trace.hh"
 #include "support/logging.hh"
 
 namespace pca::kernel
@@ -82,7 +84,13 @@ Kernel::decidePreemption(CpuContext &ctx)
     for (KernelModule *m : modules)
         m->onTick(*attachedCore);
     if (schedRng.nextBool(preemptProb)) {
-        // Give the kernel thread a short timeslice.
+        // Give the kernel thread a short timeslice. From here until
+        // iret the measured thread is descheduled, so the work is a
+        // scheduling artifact, not timer service: re-class it.
+        attachedCore->setAttrClass(obs::AttrClass::Preempt);
+        PCA_SPC_INC(Preemptions);
+        if (obs::traceEnabled())
+            obs::tracer().instant("preempt", "sched", ctx.cycles());
         ctx.setReg(Reg::Ecx, 500 + schedRng.nextBelow(2500));
         ctx.jumpTo("k_preempt");
     } else {
@@ -95,6 +103,7 @@ Kernel::doSwitchOut(CpuContext &ctx)
 {
     pca_assert(attachedCore);
     ++ctxswCount;
+    PCA_SPC_INC(ContextSwitches);
     for (KernelModule *m : modules)
         m->onSwitchOut(*attachedCore);
     (void)ctx;

@@ -1,0 +1,64 @@
+#include "obs/env.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "obs/spc.hh"
+#include "obs/trace.hh"
+#include "support/logging.hh"
+
+namespace pca::obs
+{
+
+namespace
+{
+
+std::string tracePath;
+
+void
+dumpAtExit()
+{
+    if (spcAnyEnabled())
+        spcDump(std::cerr);
+    if (!tracePath.empty() && tracer().enabled()) {
+        std::ofstream out(tracePath);
+        if (!out) {
+            std::cerr << "warn: PCA_TRACE: cannot write "
+                      << tracePath << '\n';
+            return;
+        }
+        tracer().writeChromeJson(out);
+        std::cerr << "info: PCA_TRACE: wrote " << tracer().size()
+                  << " events to " << tracePath << '\n';
+    }
+}
+
+} // namespace
+
+void
+initObservabilityFromEnv()
+{
+    static bool done = false;
+    if (done)
+        return;
+    done = true;
+
+    bool armed = false;
+    if (const char *spec = std::getenv("PCA_SPC");
+        spec && *spec != '\0') {
+        spcAttach(spec);
+        armed = true;
+    }
+    if (const char *path = std::getenv("PCA_TRACE");
+        path && *path != '\0') {
+        tracePath = path;
+        tracer().setEnabled(true);
+        armed = true;
+    }
+    if (armed)
+        std::atexit(dumpAtExit);
+}
+
+} // namespace pca::obs

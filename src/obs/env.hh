@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Environment-variable toggles for the observability layer,
+ * mirroring OMPI's MCA parameters (mpi_spc_attach /
+ * mpi_spc_dump_enabled):
+ *
+ *   PCA_SPC=all|none|<name,name,...>  enable software counters; the
+ *       enabled set is dumped to stderr at process exit.
+ *   PCA_TRACE=<file>  enable the virtual-time tracer; the Chrome
+ *       trace JSON is written to <file> at process exit.
+ */
+
+#ifndef PCA_OBS_ENV_HH
+#define PCA_OBS_ENV_HH
+
+namespace pca::obs
+{
+
+/**
+ * Parse PCA_SPC / PCA_TRACE and arm the exit-time dumps. Idempotent:
+ * only the first call reads the environment.
+ */
+void initObservabilityFromEnv();
+
+} // namespace pca::obs
+
+#endif // PCA_OBS_ENV_HH

@@ -1,0 +1,123 @@
+#include "obs/trace.hh"
+
+#include <cstdio>
+
+namespace pca::obs
+{
+
+namespace
+{
+
+/** JSON string escaping for event names and categories. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+Tracer &
+tracer()
+{
+    static Tracer t;
+    return t;
+}
+
+void
+Tracer::begin(const std::string &name, const std::string &cat,
+              Cycles ts)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    events.push_back({'B', name, cat, ts, 0});
+}
+
+void
+Tracer::end(Cycles ts)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    events.push_back({'E', "", "", ts, 0});
+}
+
+void
+Tracer::instant(const std::string &name, const std::string &cat,
+                Cycles ts)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    events.push_back({'i', name, cat, ts, 0});
+}
+
+void
+Tracer::complete(const std::string &name, const std::string &cat,
+                 Cycles start, Cycles dur)
+{
+    if (!enabled())
+        return;
+    std::lock_guard<std::mutex> lock(mu);
+    events.push_back({'X', name, cat, start, dur});
+}
+
+std::size_t
+Tracer::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return events.size();
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    events.clear();
+}
+
+void
+Tracer::writeChromeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    os << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &e : events) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << "\n{\"ph\":\"" << e.ph << "\",\"pid\":1,\"tid\":1"
+           << ",\"ts\":" << e.ts;
+        if (e.ph == 'X')
+            os << ",\"dur\":" << e.dur;
+        // Instant events need a scope; 't' = thread.
+        if (e.ph == 'i')
+            os << ",\"s\":\"t\"";
+        os << ",\"name\":\"" << jsonEscape(e.name) << "\"";
+        if (!e.cat.empty())
+            os << ",\"cat\":\"" << jsonEscape(e.cat) << "\"";
+        os << '}';
+    }
+    os << "\n]}\n";
+}
+
+} // namespace pca::obs

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Virtual-time tracer: scoped begin/end and instant events stamped
+ * with *simulated* cycles, exported in the Chrome trace-event JSON
+ * format so a run can be opened in Perfetto (ui.perfetto.dev) or
+ * chrome://tracing. Following nanoBench's design rule that a
+ * measurement tool's own instrumentation must be toggleable and
+ * near-free: with the tracer disabled (the default), every
+ * instrumentation site reduces to one relaxed load + branch.
+ */
+
+#ifndef PCA_OBS_TRACE_HH
+#define PCA_OBS_TRACE_HH
+
+#include <atomic>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace pca::obs
+{
+
+/** One trace-event record (a subset of the Chrome trace format). */
+struct TraceEvent
+{
+    char ph;          //!< 'B' begin, 'E' end, 'i' instant, 'X' complete
+    std::string name; //!< event name ('E' events may leave it empty)
+    std::string cat;  //!< category ("kernel", "harness", ...)
+    Cycles ts = 0;    //!< simulated-cycle timestamp
+    Cycles dur = 0;   //!< duration, 'X' events only
+};
+
+/**
+ * Global event buffer. The simulator is single-threaded per machine,
+ * but studies may shard machines across threads later: all mutation
+ * goes through one mutex, and the enabled flag is a relaxed atomic
+ * so disabled call sites stay cheap.
+ */
+class Tracer
+{
+  public:
+    bool enabled() const { return on.load(std::memory_order_relaxed); }
+    void setEnabled(bool enable)
+    {
+        on.store(enable, std::memory_order_relaxed);
+    }
+
+    /** Open a scope at simulated cycle @p ts. */
+    void begin(const std::string &name, const std::string &cat,
+               Cycles ts);
+
+    /** Close the most recent open scope at simulated cycle @p ts. */
+    void end(Cycles ts);
+
+    /** Record a point event. */
+    void instant(const std::string &name, const std::string &cat,
+                 Cycles ts);
+
+    /** Record a complete ('X') event covering [start, start+dur). */
+    void complete(const std::string &name, const std::string &cat,
+                  Cycles start, Cycles dur);
+
+    std::size_t size() const;
+    void clear();
+
+    /**
+     * Write the buffer as Chrome trace-event JSON. Timestamps are
+     * simulated cycles in the "ts"/"dur" microsecond fields: wall
+     * time is meaningless inside the simulator, so one trace "µs" is
+     * one simulated cycle.
+     */
+    void writeChromeJson(std::ostream &os) const;
+
+  private:
+    std::atomic<bool> on{false};
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+};
+
+/** The process-wide tracer. */
+Tracer &tracer();
+
+/** Hot-path gate: is tracing on? */
+inline bool
+traceEnabled()
+{
+    return tracer().enabled();
+}
+
+} // namespace pca::obs
+
+#endif // PCA_OBS_TRACE_HH

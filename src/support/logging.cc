@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <stdexcept>
 
 namespace pca
@@ -24,14 +25,29 @@ class StderrSink : public LogSink
 StderrSink defaultSink;
 LogSink *currentSink = &defaultSink;
 
+/**
+ * Guards both the sink pointer swap and emission, so a sink being
+ * replaced can never be mid-emit on another thread when its owner
+ * destroys it (studies may shard machines across threads).
+ */
+std::mutex sinkMutex;
+
+void
+emitLocked(const std::string &level, const std::string &msg)
+{
+    const std::lock_guard<std::mutex> lock(sinkMutex);
+    currentSink->emit(level, msg);
+}
+
 } // namespace
 
 LogSink *
 setLogSink(LogSink *sink)
 {
+    const std::lock_guard<std::mutex> lock(sinkMutex);
     LogSink *prev = currentSink;
     currentSink = sink ? sink : &defaultSink;
-    return prev == &defaultSink ? nullptr : prev;
+    return prev;
 }
 
 namespace detail
@@ -40,7 +56,7 @@ namespace detail
 void
 panicImpl(const char *file, int line, const std::string &msg)
 {
-    currentSink->emit("panic", cat(file, ":", line, ": ", msg));
+    emitLocked("panic", cat(file, ":", line, ": ", msg));
     // Throw rather than abort so tests can exercise panic paths.
     throw std::logic_error("pca panic: " + msg);
 }
@@ -48,20 +64,26 @@ panicImpl(const char *file, int line, const std::string &msg)
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
-    currentSink->emit("fatal", cat(file, ":", line, ": ", msg));
+    emitLocked("fatal", cat(file, ":", line, ": ", msg));
     throw std::runtime_error("pca fatal: " + msg);
 }
 
 void
 warnImpl(const std::string &msg)
 {
-    currentSink->emit("warn", msg);
+    emitLocked("warn", msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    currentSink->emit("info", msg);
+    emitLocked("info", msg);
+}
+
+void
+metricImpl(const std::string &json)
+{
+    emitLocked("metric", json);
 }
 
 } // namespace detail

@@ -23,7 +23,13 @@ class LogSink
     virtual void emit(const std::string &level, const std::string &msg) = 0;
 };
 
-/** Replace the global log sink; returns the previous one. */
+/**
+ * Replace the global log sink; null restores the stderr default.
+ * Returns the previous sink (which may be the default — pass the
+ * returned pointer back to setLogSink to restore it verbatim). Sink
+ * swaps and emission share one mutex, so replacing a sink never races
+ * an in-flight emit on another thread.
+ */
 LogSink *setLogSink(LogSink *sink);
 
 namespace detail
@@ -35,6 +41,7 @@ namespace detail
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+void metricImpl(const std::string &json);
 
 /** Concatenate a parameter pack into one string via operator<<. */
 template <typename... Args>
@@ -65,6 +72,14 @@ cat(Args &&...args)
 /** Informational status message. */
 #define pca_inform(...) \
     ::pca::detail::informImpl(::pca::detail::cat(__VA_ARGS__))
+
+/**
+ * Structured metrics record: one line of JSON, emitted at level
+ * "metric" so sinks can split machine-readable output (JSONL) from
+ * human-readable logs.
+ */
+#define pca_metric(...) \
+    ::pca::detail::metricImpl(::pca::detail::cat(__VA_ARGS__))
 
 /** Panic unless @p cond holds. */
 #define pca_assert(cond) \

@@ -71,6 +71,28 @@ TEST(Logging, MessageConcatenatesArguments)
     EXPECT_EQ(sink.lines[0], "warn: x=42 y=3");
 }
 
+TEST(Logging, SetLogSinkReturnsActualPreviousSink)
+{
+    RecordingSink a, b;
+    LogSink *deflt = setLogSink(&a);
+    // The previous sink was the stderr default: a real object, not
+    // null, so callers can restore it verbatim.
+    ASSERT_NE(deflt, nullptr);
+    EXPECT_EQ(setLogSink(&b), &a);
+    EXPECT_EQ(setLogSink(deflt), &b);
+    EXPECT_EQ(setLogSink(nullptr), deflt);
+}
+
+TEST(Logging, MetricEmitsAtMetricLevel)
+{
+    RecordingSink sink;
+    setLogSink(&sink);
+    pca_metric("{\"runs\":", 3, "}");
+    setLogSink(nullptr);
+    ASSERT_EQ(sink.lines.size(), 1u);
+    EXPECT_EQ(sink.lines[0], "metric: {\"runs\":3}");
+}
+
 TEST(Rng, DeterministicForSameSeed)
 {
     Rng a(123), b(123);
