@@ -13,6 +13,7 @@
 
 #include "harness/harness.hh"
 #include "harness/microbench.hh"
+#include "harness/session.hh"
 #include "obs/env.hh"
 #include "stats/descriptive.hh"
 #include "support/random.hh"
@@ -46,19 +47,26 @@ paperRef(const std::string &what, double paper, double measured,
               << padLeft(fmtDouble(measured, digits), 9) << '\n';
 }
 
-/** Collect null-benchmark errors for one configuration. */
+/**
+ * Collect null-benchmark errors for one configuration, through the
+ * same cached per-point path the study engine uses (one assembled
+ * program, rebooted per run — values identical to building a fresh
+ * MeasurementHarness for every run, which this helper used to do).
+ */
 inline std::vector<double>
 nullErrors(harness::HarnessConfig cfg, int runs,
            std::uint64_t seed = 12345)
 {
+    harness::ProgramCache cache(1);
+    const harness::NullBench bench;
     std::vector<double> errs;
     errs.reserve(static_cast<std::size_t>(runs));
-    const harness::NullBench bench;
-    for (int r = 0; r < runs; ++r) {
-        cfg.seed = mixSeed(seed, static_cast<std::uint64_t>(r));
-        errs.push_back(static_cast<double>(
-            harness::MeasurementHarness(cfg).measure(bench).error()));
-    }
+    for (const harness::Measurement &m : harness::measurePoint(
+             cache, cfg, bench, runs, [seed](int r) {
+                 return mixSeed(seed,
+                                static_cast<std::uint64_t>(r));
+             }))
+        errs.push_back(static_cast<double>(m.error()));
     return errs;
 }
 

@@ -30,8 +30,12 @@ main()
                       .counterCounts({1, 2, 4, 18})
                       .tscSettings({true, false})
                       .generate();
+    // 12 runs per point: the paper's violins pool many measurements
+    // per configuration, and with the cached study engine the extra
+    // runs reuse the assembled program instead of re-booting a
+    // machine from scratch each time.
     const auto table = core::runNullErrorStudy(
-        points, 4, 20260704, core::StudyObsOptions::fromEnv());
+        points, 12, 20260704, core::StudyObsOptions::fromEnv());
 
     std::cout << "configurations: " << points.size()
               << ", measurements: " << table.size() << "\n\n";

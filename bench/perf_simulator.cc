@@ -4,13 +4,34 @@
  * interpreter throughput, loop fast-forward, machine boot, and full
  * measurement cost. These bound the wall-clock cost of the
  * paper-reproduction studies.
+ *
+ * `perf_simulator --studies [output.json]` instead times the study
+ * engine end to end on the Figure 1 workload — the legacy serial
+ * path (fresh machine + re-assembly per run) against the parallel
+ * engine with the cross-run program cache — and writes points/sec,
+ * speedup, and the cache hit rate to BENCH_studies.json.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/factor_space.hh"
+#include "core/study.hh"
 #include "harness/harness.hh"
 #include "harness/microbench.hh"
+#include "harness/session.hh"
 #include "isa/assembler.hh"
+#include "obs/spc.hh"
+#include "support/parallel.hh"
+#include "support/random.hh"
+#include "support/strutil.hh"
 
 namespace
 {
@@ -138,4 +159,202 @@ BM_LoopMeasurementWithInterrupts(benchmark::State &state)
 }
 BENCHMARK(BM_LoopMeasurementWithInterrupts);
 
+void
+BM_SessionReusedRun(benchmark::State &state)
+{
+    // Steady-state cost of one cached measurement: reboot + run,
+    // no re-assembly (the program cache's amortized per-run cost).
+    const NullBench bench;
+    HarnessConfig cfg;
+    cfg.processor = cpu::Processor::Core2Duo;
+    cfg.iface = Interface::PHpm;
+    cfg.pattern = AccessPattern::StartRead;
+    harness::HarnessSession sess(cfg, bench);
+    std::uint64_t seed = 0;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(sess.run(++seed));
+}
+BENCHMARK(BM_SessionReusedRun);
+
+void
+BM_MachineReboot(benchmark::State &state)
+{
+    // Reboot alone (no run): the bookkeeping the session adds on
+    // top of the measurement itself.
+    MachineConfig cfg;
+    cfg.processor = cpu::Processor::Core2Duo;
+    cfg.iface = Interface::Pc;
+    Machine m(cfg);
+    Assembler a("main");
+    a.halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    std::uint64_t seed = 0;
+    for (auto _ : state)
+        m.reboot(++seed);
+}
+BENCHMARK(BM_MachineReboot);
+
+// ---------------------------------------------------------------- //
+// --studies: end-to-end study engine timing
+// ---------------------------------------------------------------- //
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * The pre-engine study loop, reproduced verbatim: a fresh machine,
+ * fresh assembly, and fresh link for every single run, in point
+ * order on one thread. This is the baseline the speedup is measured
+ * against (and what runNullErrorStudy compiled to before the
+ * parallel engine existed).
+ */
+core::DataTable
+legacySerialNullStudy(const std::vector<core::FactorPoint> &points,
+                      int runs_per_point, std::uint64_t seed)
+{
+    core::DataTable table({"processor", "interface", "pattern",
+                           "mode", "opt", "nctrs", "tsc", "run"},
+                          "error");
+    const NullBench bench;
+    std::uint64_t point_id = 0;
+    for (const core::FactorPoint &p : points) {
+        ++point_id;
+        for (int r = 0; r < runs_per_point; ++r) {
+            HarnessConfig cfg = p.toHarnessConfig(
+                mixSeed(seed, point_id * 1000 +
+                                  static_cast<std::uint64_t>(r)));
+            const auto m = MeasurementHarness(cfg).measure(bench);
+            table.add({cpu::processorCode(p.processor),
+                       harness::interfaceCode(p.iface),
+                       harness::patternName(p.pattern),
+                       harness::countingModeName(p.mode),
+                       "O" + std::to_string(p.optLevel),
+                       std::to_string(p.numCounters),
+                       p.tsc ? "on" : "off", std::to_string(r)},
+                      static_cast<double>(m.error()));
+        }
+    }
+    return table;
+}
+
+std::string
+csvOf(const core::DataTable &table)
+{
+    std::ostringstream os;
+    table.writeCsv(os);
+    return os.str();
+}
+
+int
+runStudiesMode(const std::string &out_path)
+{
+    // The Figure 1 workload: the full §3 factor space.
+    const auto points = core::FactorSpace()
+                            .counterCounts({1, 2, 4, 18})
+                            .tscSettings({true, false})
+                            .generate();
+    constexpr int runsPerPoint = 12; // keep in sync with fig01
+    constexpr std::uint64_t seed = 20260704;
+    const auto totalRuns = static_cast<double>(points.size()) *
+                           static_cast<double>(runsPerPoint);
+
+    std::cout << "study workload: " << points.size() << " points x "
+              << runsPerPoint << " runs\n";
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto legacy =
+        legacySerialNullStudy(points, runsPerPoint, seed);
+    const double serialSec = secondsSince(t0);
+    std::cout << "serial (legacy, uncached):  "
+              << fmtDouble(serialSec, 2) << " s\n";
+
+    obs::spcReset();
+    obs::spcAttach("program_cache_hits,program_cache_misses,"
+                   "machine_reboots");
+    const int threads = defaultThreadCount();
+    const auto t1 = std::chrono::steady_clock::now();
+    const auto engine = core::runNullErrorStudy(
+        points, runsPerPoint, seed, core::StudyObsOptions{});
+    const double engineSec = secondsSince(t1);
+    const double hits =
+        static_cast<double>(obs::spcValue(obs::Spc::ProgramCacheHits));
+    const double misses = static_cast<double>(
+        obs::spcValue(obs::Spc::ProgramCacheMisses));
+    obs::spcReset();
+
+    std::cout << "engine (" << threads << " thread"
+              << (threads == 1 ? "" : "s") << ", cached):      "
+              << fmtDouble(engineSec, 2) << " s\n";
+
+    // The engine must be invisible in the output — assert it here
+    // too, not just in the test suite, so a benchmark run cannot
+    // silently time a wrong-answer configuration.
+    if (csvOf(legacy) != csvOf(engine)) {
+        std::cerr << "FATAL: engine output differs from the legacy "
+                     "serial path\n";
+        return 1;
+    }
+
+    const double speedup =
+        engineSec > 0 ? serialSec / engineSec : 0.0;
+    const double hitRate =
+        (hits + misses) > 0 ? hits / (hits + misses) : 0.0;
+    std::cout << "speedup: " << fmtDouble(speedup, 2)
+              << "x, cache hit rate: "
+              << fmtDouble(100.0 * hitRate, 1) << "%\n";
+
+    std::ofstream os(out_path);
+    if (!os) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+    }
+    os << "{\n"
+       << "  \"workload\": \"fig01_null_error\",\n"
+       << "  \"points\": " << points.size() << ",\n"
+       << "  \"runs_per_point\": " << runsPerPoint << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"hardware_threads\": " << hardwareThreads() << ",\n"
+       << "  \"serial_legacy_sec\": " << fmtDouble(serialSec, 4)
+       << ",\n"
+       << "  \"engine_sec\": " << fmtDouble(engineSec, 4) << ",\n"
+       << "  \"serial_points_per_sec\": "
+       << fmtDouble(totalRuns / serialSec, 2) << ",\n"
+       << "  \"engine_points_per_sec\": "
+       << fmtDouble(totalRuns / engineSec, 2) << ",\n"
+       << "  \"speedup\": " << fmtDouble(speedup, 3) << ",\n"
+       << "  \"cache_hits\": " << static_cast<Count>(hits) << ",\n"
+       << "  \"cache_misses\": " << static_cast<Count>(misses)
+       << ",\n"
+       << "  \"cache_hit_rate\": " << fmtDouble(hitRate, 4) << ",\n"
+       << "  \"outputs_identical\": true\n"
+       << "}\n";
+    std::cout << "wrote " << out_path << "\n";
+    return 0;
+}
+
 } // namespace
+
+int
+main(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--studies") == 0) {
+            const std::string out = i + 1 < argc
+                ? argv[i + 1]
+                : "BENCH_studies.json";
+            return runStudiesMode(out);
+        }
+    }
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

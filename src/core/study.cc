@@ -4,10 +4,13 @@
 #include <chrono>
 #include <cstdlib>
 #include <limits>
+#include <mutex>
 
 #include "harness/microbench.hh"
+#include "harness/session.hh"
 #include "obs/attribution.hh"
 #include "support/logging.hh"
+#include "support/parallel.hh"
 #include "support/random.hh"
 #include "support/strutil.hh"
 
@@ -17,8 +20,9 @@ namespace pca::core
 using harness::HarnessConfig;
 using harness::Interface;
 using harness::LoopBench;
-using harness::MeasurementHarness;
+using harness::Measurement;
 using harness::NullBench;
+using harness::ProgramCache;
 
 StudyObsOptions
 StudyObsOptions::fromEnv()
@@ -54,6 +58,14 @@ namespace
  * Progress/ETA reporting and JSONL metrics for a study's point loop.
  * One instance per study invocation; everything is inert unless the
  * corresponding StudyObsOptions flag is set.
+ *
+ * Thread-safe: under the parallel study engine pointDone() is called
+ * from worker threads as points complete (completion order, not point
+ * order — only the log stream varies with thread count, never the
+ * study tables). One mutex orders the updates, each record is a
+ * single LogSink message (so lines cannot tear), and the reported
+ * ETA is clamped to be non-increasing so out-of-order completions
+ * don't make it bounce upward.
  */
 class StudyObserver
 {
@@ -70,6 +82,7 @@ class StudyObserver
     pointDone(const std::string &label,
               const std::vector<double> &values)
     {
+        std::lock_guard<std::mutex> lock(mtx);
         ++donePoints;
         totalRuns += values.size();
         if (opt.metrics && !values.empty()) {
@@ -92,9 +105,11 @@ class StudyObserver
                 : static_cast<double>(donePoints) /
                     static_cast<double>(totalPoints);
             const double elapsed = elapsedSec();
-            const double eta = frac > 0
+            double eta = frac > 0
                 ? elapsed * (1.0 - frac) / frac
                 : 0.0;
+            eta = std::min(eta, lastEta);
+            lastEta = eta;
             pca_inform(study, ": ", donePoints, "/", totalPoints,
                        " points (", fmtDouble(100.0 * frac, 1),
                        "%), elapsed ", fmtDouble(elapsed, 1),
@@ -106,6 +121,7 @@ class StudyObserver
     void
     finish()
     {
+        std::lock_guard<std::mutex> lock(mtx);
         if (opt.metrics)
             pca_metric("{\"study\":\"", study,
                        "\",\"summary\":true,\"points\":", donePoints,
@@ -127,7 +143,9 @@ class StudyObserver
     std::size_t totalPoints;
     std::size_t donePoints = 0;
     std::size_t totalRuns = 0;
+    double lastEta = std::numeric_limits<double>::infinity();
     std::chrono::steady_clock::time_point start;
+    std::mutex mtx;
 };
 
 /** The four attribution key columns, in table order. */
@@ -149,6 +167,31 @@ appendAttrKeys(std::vector<std::string> &keys,
     keys.push_back(std::to_string(a.preemption));
 }
 
+std::vector<double>
+errorsOf(const std::vector<Measurement> &ms)
+{
+    std::vector<double> out;
+    out.reserve(ms.size());
+    for (const Measurement &m : ms)
+        out.push_back(static_cast<double>(m.error()));
+    return out;
+}
+
+/**
+ * One program cache per worker. Caches (and the sessions inside
+ * them) are stateful and not thread-safe; the study engine partitions
+ * whole factor points across workers, so a private cache per worker
+ * gives lock-free reuse. Results cannot depend on the partition:
+ * a cache hit and a fresh build are result-identical.
+ */
+std::vector<ProgramCache>
+makeWorkerCaches()
+{
+    return std::vector<ProgramCache>(
+        static_cast<std::size_t>(
+            std::max(1, defaultThreadCount())));
+}
+
 } // namespace
 
 DataTable
@@ -166,15 +209,41 @@ runNullErrorStudy(const std::vector<FactorPoint> &points,
     DataTable table(cols, "error");
     StudyObserver observer(obs_opt, "null_error", points.size());
     const NullBench bench;
-    std::uint64_t point_id = 0;
-    for (const FactorPoint &p : points) {
-        ++point_id;
-        std::vector<double> point_errors;
+
+    // Fan the factor points over the worker pool. Every run's seed
+    // is a pure function of (study seed, point index, run index), so
+    // the measured values cannot depend on which worker claims a
+    // point; the merge below re-establishes point order, making the
+    // emitted table byte-identical for every PCA_THREADS value.
+    std::vector<ProgramCache> caches = makeWorkerCaches();
+    std::vector<std::vector<Measurement>> slots(points.size());
+    parallelFor(
+        points.size(), [&](std::size_t i, int worker) {
+            const FactorPoint &p = points[i];
+            const std::uint64_t point_id = i + 1;
+            const HarnessConfig cfg = p.toHarnessConfig(seed);
+            slots[i] = harness::measurePoint(
+                caches[static_cast<std::size_t>(worker)], cfg, bench,
+                runs_per_point, [&](int r) {
+                    return mixSeed(seed,
+                                   point_id * 1000 +
+                                       static_cast<std::uint64_t>(r));
+                });
+            observer.pointDone(
+                detail::cat(cpu::processorCode(p.processor), "/",
+                            harness::interfaceCode(p.iface), "/",
+                            harness::patternName(p.pattern), "/",
+                            harness::countingModeName(p.mode), "/O",
+                            p.optLevel, "/n", p.numCounters, "/tsc=",
+                            p.tsc ? "on" : "off"),
+                errorsOf(slots[i]));
+        });
+
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const FactorPoint &p = points[i];
         for (int r = 0; r < runs_per_point; ++r) {
-            HarnessConfig cfg = p.toHarnessConfig(
-                mixSeed(seed, point_id * 1000 +
-                                  static_cast<std::uint64_t>(r)));
-            const auto m = MeasurementHarness(cfg).measure(bench);
+            const Measurement &m =
+                slots[i][static_cast<std::size_t>(r)];
             std::vector<std::string> keys{
                 cpu::processorCode(p.processor),
                 harness::interfaceCode(p.iface),
@@ -187,16 +256,7 @@ runNullErrorStudy(const std::vector<FactorPoint> &points,
             if (obs_opt.attributionColumns)
                 appendAttrKeys(keys, m.attribution);
             table.add(keys, static_cast<double>(m.error()));
-            point_errors.push_back(static_cast<double>(m.error()));
         }
-        observer.pointDone(
-            detail::cat(cpu::processorCode(p.processor), "/",
-                        harness::interfaceCode(p.iface), "/",
-                        harness::patternName(p.pattern), "/",
-                        harness::countingModeName(p.mode), "/O",
-                        p.optLevel, "/n", p.numCounters, "/tsc=",
-                        p.tsc ? "on" : "off"),
-            point_errors);
     }
     observer.finish();
     return table;
@@ -211,49 +271,66 @@ runDurationStudy(const DurationStudyOptions &opt)
         appendAttrColumns(cols);
     DataTable table(cols, "error");
 
-    std::size_t supported = 0;
-    for (Interface iface : opt.interfaces)
-        if (harness::patternSupported(iface, opt.pattern))
-            ++supported;
-    StudyObserver observer(
-        opt.obs, "duration",
-        opt.processors.size() * supported * opt.loopSizes.size());
-
-    std::uint64_t point_id = 0;
-    for (cpu::Processor proc : opt.processors) {
+    struct Point
+    {
+        cpu::Processor proc;
+        Interface iface;
+        Count size;
+    };
+    std::vector<Point> pts;
+    for (cpu::Processor proc : opt.processors)
         for (Interface iface : opt.interfaces) {
             if (!harness::patternSupported(iface, opt.pattern))
                 continue;
-            for (Count size : opt.loopSizes) {
-                const LoopBench bench(size);
-                std::vector<double> point_errors;
-                for (int r = 0; r < opt.runsPerSize; ++r) {
-                    ++point_id;
-                    HarnessConfig cfg;
-                    cfg.processor = proc;
-                    cfg.iface = iface;
-                    cfg.pattern = opt.pattern;
-                    cfg.mode = opt.mode;
-                    cfg.seed = mixSeed(opt.seed, point_id);
-                    const auto m =
-                        MeasurementHarness(cfg).measure(bench);
-                    std::vector<std::string> keys{
-                        cpu::processorCode(proc),
-                        harness::interfaceCode(iface),
-                        std::to_string(size), std::to_string(r)};
-                    if (opt.obs.attributionColumns)
-                        appendAttrKeys(keys, m.attribution);
-                    table.add(keys,
-                              static_cast<double>(m.error()));
-                    point_errors.push_back(
-                        static_cast<double>(m.error()));
-                }
-                observer.pointDone(
-                    detail::cat(cpu::processorCode(proc), "/",
-                                harness::interfaceCode(iface),
-                                "/size=", size),
-                    point_errors);
-            }
+            for (Count size : opt.loopSizes)
+                pts.push_back({proc, iface, size});
+        }
+
+    StudyObserver observer(opt.obs, "duration", pts.size());
+
+    std::vector<ProgramCache> caches = makeWorkerCaches();
+    std::vector<std::vector<Measurement>> slots(pts.size());
+    parallelFor(
+        pts.size(), [&](std::size_t i, int worker) {
+            const Point &p = pts[i];
+            const LoopBench bench(p.size);
+            HarnessConfig cfg;
+            cfg.processor = p.proc;
+            cfg.iface = p.iface;
+            cfg.pattern = opt.pattern;
+            cfg.mode = opt.mode;
+            // Legacy serial numbering: point_id ticked once per run,
+            // in point order. Preserved exactly so the table matches
+            // the pre-parallel engine bit for bit.
+            const std::uint64_t base =
+                static_cast<std::uint64_t>(i) *
+                static_cast<std::uint64_t>(opt.runsPerSize);
+            slots[i] = harness::measurePoint(
+                caches[static_cast<std::size_t>(worker)], cfg, bench,
+                opt.runsPerSize, [&](int r) {
+                    return mixSeed(
+                        opt.seed,
+                        base + static_cast<std::uint64_t>(r) + 1);
+                });
+            observer.pointDone(
+                detail::cat(cpu::processorCode(p.proc), "/",
+                            harness::interfaceCode(p.iface),
+                            "/size=", p.size),
+                errorsOf(slots[i]));
+        });
+
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        const Point &p = pts[i];
+        for (int r = 0; r < opt.runsPerSize; ++r) {
+            const Measurement &m =
+                slots[i][static_cast<std::size_t>(r)];
+            std::vector<std::string> keys{
+                cpu::processorCode(p.proc),
+                harness::interfaceCode(p.iface),
+                std::to_string(p.size), std::to_string(r)};
+            if (opt.obs.attributionColumns)
+                appendAttrKeys(keys, m.attribution);
+            table.add(keys, static_cast<double>(m.error()));
         }
     }
     observer.finish();
@@ -293,42 +370,64 @@ runCycleStudy(const CycleStudyOptions &opt)
         {"processor", "interface", "pattern", "opt", "loopsize",
          "run"},
         "cycles");
-    std::uint64_t point_id = 0;
-    for (cpu::Processor proc : opt.processors) {
-        for (Interface iface : opt.interfaces) {
+
+    struct Point
+    {
+        cpu::Processor proc;
+        Interface iface;
+        harness::AccessPattern pat;
+        int optLevel;
+        Count size;
+    };
+    std::vector<Point> pts;
+    for (cpu::Processor proc : opt.processors)
+        for (Interface iface : opt.interfaces)
             for (harness::AccessPattern pat : opt.patterns) {
                 if (!harness::patternSupported(iface, pat))
                     continue;
-                for (int opt_level : opt.optLevels) {
-                    for (Count size : opt.loopSizes) {
-                        const LoopBench bench(size);
-                        for (int r = 0; r < opt.runsPerConfig; ++r) {
-                            ++point_id;
-                            HarnessConfig cfg;
-                            cfg.processor = proc;
-                            cfg.iface = iface;
-                            cfg.pattern = pat;
-                            cfg.optLevel = opt_level;
-                            cfg.mode =
-                                harness::CountingMode::UserKernel;
-                            cfg.primaryEvent =
-                                cpu::EventType::CpuClkUnhalted;
-                            cfg.seed = mixSeed(opt.seed, point_id);
-                            const auto m = MeasurementHarness(cfg)
-                                               .measure(bench);
-                            table.add(
-                                {cpu::processorCode(proc),
-                                 harness::interfaceCode(iface),
-                                 harness::patternName(pat),
-                                 "O" + std::to_string(opt_level),
-                                 std::to_string(size),
-                                 std::to_string(r)},
-                                static_cast<double>(m.delta()));
-                        }
-                    }
-                }
+                for (int opt_level : opt.optLevels)
+                    for (Count size : opt.loopSizes)
+                        pts.push_back(
+                            {proc, iface, pat, opt_level, size});
             }
-        }
+
+    std::vector<ProgramCache> caches = makeWorkerCaches();
+    std::vector<std::vector<Measurement>> slots(pts.size());
+    parallelFor(
+        pts.size(), [&](std::size_t i, int worker) {
+            const Point &p = pts[i];
+            const LoopBench bench(p.size);
+            HarnessConfig cfg;
+            cfg.processor = p.proc;
+            cfg.iface = p.iface;
+            cfg.pattern = p.pat;
+            cfg.optLevel = p.optLevel;
+            cfg.mode = harness::CountingMode::UserKernel;
+            cfg.primaryEvent = cpu::EventType::CpuClkUnhalted;
+            // Same legacy per-run numbering as the duration study.
+            const std::uint64_t base =
+                static_cast<std::uint64_t>(i) *
+                static_cast<std::uint64_t>(opt.runsPerConfig);
+            slots[i] = harness::measurePoint(
+                caches[static_cast<std::size_t>(worker)], cfg, bench,
+                opt.runsPerConfig, [&](int r) {
+                    return mixSeed(
+                        opt.seed,
+                        base + static_cast<std::uint64_t>(r) + 1);
+                });
+        });
+
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+        const Point &p = pts[i];
+        for (int r = 0; r < opt.runsPerConfig; ++r)
+            table.add({cpu::processorCode(p.proc),
+                       harness::interfaceCode(p.iface),
+                       harness::patternName(p.pat),
+                       "O" + std::to_string(p.optLevel),
+                       std::to_string(p.size), std::to_string(r)},
+                      static_cast<double>(
+                          slots[i][static_cast<std::size_t>(r)]
+                              .delta()));
     }
     return table;
 }

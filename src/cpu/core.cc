@@ -667,6 +667,13 @@ Core::reset()
     halted = false;
     pcRedirected = false;
     activeVector = -1;
+    interruptedAddr = 0;
+    pmiCounter = -1;
+    // CR4 bits return to power-on defaults: the measurement program
+    // re-enables user RDPMC through its own setup path, exactly as
+    // it would on a freshly booted machine.
+    userRdpmcOk = false;
+    userRdtscOk = true;
     loops.clear();
     poisonSinceBackward = true;
 }

@@ -1,16 +1,11 @@
 #include "harness/harness.hh"
 
-#include "isa/assembler.hh"
-#include "obs/spc.hh"
-#include "obs/trace.hh"
+#include "harness/session.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
 
 namespace pca::harness
 {
-
-using isa::Assembler;
-using isa::Reg;
 
 const char *
 countingModeName(CountingMode m)
@@ -34,44 +29,20 @@ toPlMask(CountingMode m)
     pca_panic("bad counting mode");
 }
 
-namespace
+std::vector<cpu::EventType>
+counterEvents(const HarnessConfig &cfg)
 {
-
-/**
- * Harness code sizes per gcc optimization level (O0..O3). The
- * optimizable code is only the measurement scaffolding (the
- * benchmark is inline assembly), so levels differ in frame setup and
- * spill code *outside* the measured window — which is why the paper's
- * ANOVA finds the optimization level insignificant for instruction
- * error, while the resulting layout shift changes cycle counts.
- */
-constexpr int prologueWork[4] = {26, 17, 12, 9};
-constexpr int betweenWork[4] = {9, 6, 4, 3};
-constexpr int epilogueWork[4] = {6, 4, 3, 2};
-
-/**
- * Mark a harness phase in the virtual-time trace. The marker host-ops
- * are only emitted while tracing is enabled, so with tracing off the
- * measurement program is bit-for-bit the same.
- */
-void
-tracePhase(isa::Assembler &a, const char *name, bool begin)
-{
-    if (!obs::traceEnabled())
-        return;
-    std::string n(name);
-    a.host([n, begin](isa::CpuContext &ctx) {
-        if (begin)
-            obs::tracer().begin(n, "harness", ctx.cycles());
-        else
-            obs::tracer().end(ctx.cycles());
-    });
+    std::vector<cpu::EventType> events{cfg.primaryEvent};
+    events.insert(events.end(), cfg.extraEvents.begin(),
+                  cfg.extraEvents.end());
+    return events;
 }
 
-} // namespace
+namespace detail
+{
 
-MeasurementHarness::MeasurementHarness(const HarnessConfig &cfg)
-    : cfg(cfg)
+void
+validateHarnessConfig(const HarnessConfig &cfg)
 {
     pca_assert(cfg.optLevel >= 0 && cfg.optLevel <= 3);
     if (!patternSupported(cfg.iface, cfg.pattern))
@@ -85,123 +56,24 @@ MeasurementHarness::MeasurementHarness(const HarnessConfig &cfg)
                   " programmable counters; requested ", want);
 }
 
+} // namespace detail
+
+MeasurementHarness::MeasurementHarness(const HarnessConfig &cfg)
+    : cfg(cfg)
+{
+    detail::validateHarnessConfig(cfg);
+}
+
 std::vector<cpu::EventType>
 MeasurementHarness::counterEvents() const
 {
-    std::vector<cpu::EventType> events{cfg.primaryEvent};
-    events.insert(events.end(), cfg.extraEvents.begin(),
-                  cfg.extraEvents.end());
-    return events;
+    return harness::counterEvents(cfg);
 }
 
 Measurement
 MeasurementHarness::measure(const MicroBenchmark &bench) const
 {
-    MachineConfig mc;
-    mc.processor = cfg.processor;
-    mc.iface = cfg.iface;
-    mc.seed = cfg.seed;
-    mc.interruptsEnabled = cfg.interruptsEnabled;
-    mc.ioInterrupts = cfg.ioInterrupts;
-    mc.preemptProb = cfg.preemptProb;
-    mc.fastForward = cfg.fastForward;
-    Machine machine(mc);
-
-    ApiConfig acfg;
-    acfg.events = counterEvents();
-    acfg.pl = toPlMask(cfg.mode);
-    acfg.tsc = cfg.tsc;
-    auto api = makeCounterApi(machine, acfg);
-
-    CaptureSink s0, s1;
-    Assembler a("main");
-
-    // Harness scaffolding (outside the measured window). The pattern
-    // calls below are straight-line and execute exactly once per
-    // run, so counting them here (emit time) equals counting them at
-    // run time without perturbing the emitted program.
-    a.push(Reg::Ebp);
-    a.work(prologueWork[cfg.optLevel]);
-    tracePhase(a, "setup", true);
-    api->emitSetup(a);
-    tracePhase(a, "setup", false);
-    PCA_SPC_INC(PatternCallsSetup);
-    a.work(betweenWork[cfg.optLevel]);
-
-    auto emitStart = [&] {
-        api->emitStart(a);
-        PCA_SPC_INC(PatternCallsStart);
-    };
-    auto emitRead = [&](CaptureSink *sink) {
-        tracePhase(a, "read", true);
-        api->emitRead(a, sink);
-        tracePhase(a, "read", false);
-        PCA_SPC_INC(PatternCallsRead);
-    };
-    auto emitStop = [&](CaptureSink *sink) {
-        tracePhase(a, "stop+read", true);
-        api->emitStopAndRead(a, sink);
-        tracePhase(a, "stop+read", false);
-        PCA_SPC_INC(PatternCallsStop);
-    };
-    auto emitBench = [&] {
-        tracePhase(a, "bench", true);
-        bench.emit(a);
-        tracePhase(a, "bench", false);
-    };
-
-    switch (cfg.pattern) {
-      case AccessPattern::StartRead:
-        emitStart();
-        emitBench();
-        emitRead(&s1);
-        break;
-      case AccessPattern::StartStop:
-        emitStart();
-        emitBench();
-        emitStop(&s1);
-        break;
-      case AccessPattern::ReadRead:
-        emitStart();
-        emitRead(&s0);
-        emitBench();
-        emitRead(&s1);
-        break;
-      case AccessPattern::ReadStop:
-        emitStart();
-        emitRead(&s0);
-        emitBench();
-        emitStop(&s1);
-        break;
-    }
-
-    a.work(epilogueWork[cfg.optLevel]);
-    a.pop(Reg::Ebp);
-    a.halt();
-
-    machine.addUserBlock(a.take());
-    machine.finalize();
-
-    Measurement m;
-    m.run = machine.run("main");
-    m.c0 = s0.primary();
-    m.c1 = s1.primary();
-    m.tsc0 = s0.tsc;
-    m.tsc1 = s1.tsc;
-    m.c0All = s0.values;
-    m.c1All = s1.values;
-
-    // The analytical ground truth exists only for the benchmark's
-    // retired user-mode instructions.
-    if (cfg.primaryEvent == cpu::EventType::InstrRetired &&
-        cfg.mode != CountingMode::Kernel) {
-        m.expected = bench.expectedInstructions();
-    }
-    m.attribution = obs::attributeError(s0.attr, s1.attr, m.expected);
-    if (m.attribution.patternOverhead > 0)
-        PCA_SPC_ADD(PatternOverheadInstrs,
-                    static_cast<Count>(m.attribution.patternOverhead));
-    return m;
+    return HarnessSession(cfg, bench).run(cfg.seed);
 }
 
 std::vector<Measurement>
@@ -209,13 +81,12 @@ MeasurementHarness::measureMany(const MicroBenchmark &bench,
                                 int runs) const
 {
     pca_assert(runs >= 1);
+    HarnessSession sess(cfg, bench);
     std::vector<Measurement> out;
     out.reserve(static_cast<std::size_t>(runs));
-    HarnessConfig per_run = cfg;
-    for (int r = 0; r < runs; ++r) {
-        per_run.seed = mixSeed(cfg.seed, static_cast<std::uint64_t>(r));
-        out.push_back(MeasurementHarness(per_run).measure(bench));
-    }
+    for (int r = 0; r < runs; ++r)
+        out.push_back(
+            sess.run(mixSeed(cfg.seed, static_cast<std::uint64_t>(r))));
     return out;
 }
 

@@ -34,6 +34,17 @@ enum class CountingMode
 const char *countingModeName(CountingMode m);
 PlMask toPlMask(CountingMode m);
 
+struct HarnessConfig;
+
+/** The counter events @p cfg programs (primary + extras). */
+std::vector<cpu::EventType> counterEvents(const HarnessConfig &cfg);
+
+namespace detail
+{
+/** Shared config validation (fatal on unusable configs). */
+void validateHarnessConfig(const HarnessConfig &cfg);
+} // namespace detail
+
 /** One point in the experiment factor space. */
 struct HarnessConfig
 {
@@ -97,9 +108,13 @@ struct Measurement
 };
 
 /**
- * Builds and runs one measurement. Each measure() call boots a fresh
- * Machine (fresh caches, new interrupt phase) and executes the full
- * program: setup, pattern calls, inline benchmark, teardown.
+ * Builds and runs one measurement. Each measure() call assembles the
+ * program, boots a Machine (fresh caches, new interrupt phase), and
+ * executes the full sequence: setup, pattern calls, inline
+ * benchmark, teardown. Internally backed by a single-use
+ * HarnessSession (harness/session.hh); measureMany() reuses one
+ * session across runs, which changes nothing in the results (see the
+ * session equivalence contract) but skips redundant re-assembly.
  */
 class MeasurementHarness
 {

@@ -63,6 +63,22 @@ Machine::finalize(Addr user_text_offset)
     finalized = true;
 }
 
+void
+Machine::reboot(std::uint64_t seed)
+{
+    pca_assert(finalized);
+    PCA_SPC_INC(MachineReboots);
+    cfg.seed = seed;
+    coreImpl->reset();
+    coreImpl->setFastForwardEnabled(cfg.fastForward);
+    kernelImpl->reset(seed);
+    // Core::reset keeps the program, trap entries, and interrupt
+    // client installed by finalize(); only re-apply the
+    // interrupts-off override.
+    if (!cfg.interruptsEnabled)
+        coreImpl->setInterruptClient(nullptr);
+}
+
 cpu::RunResult
 Machine::run(const std::string &entry)
 {

@@ -93,6 +93,19 @@ class Machine
     /** Execute from the named user block until Halt. */
     cpu::RunResult run(const std::string &entry = "main");
 
+    /**
+     * Re-boot the machine for another run without re-assembling or
+     * re-linking: core, kernel, and module state return to the
+     * power-on defaults, and the stochastic elements (interrupt
+     * phases, scheduling) are re-seeded from @p seed. After
+     * reboot(s), run() produces results identical to those of a
+     * freshly constructed Machine with seed s running the same
+     * program — the equivalence the cross-run program cache is built
+     * on, asserted by tests/test_parallel.cc. Only valid once
+     * finalized.
+     */
+    void reboot(std::uint64_t seed);
+
   private:
     MachineConfig cfg;
     const cpu::MicroArch &archRef;

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Reusable measurement sessions and the cross-run program cache.
+ *
+ * MeasurementHarness::measure() assembles the measurement program,
+ * boots a machine, runs once, and throws everything away. The study
+ * sweeps run the *same* configuration runs_per_point times back to
+ * back, differing only in seed — re-invoking the assembler and
+ * linker each time buys nothing. A HarnessSession assembles and
+ * links once, then replays runs by rebooting the machine
+ * (Machine::reboot: exact power-on state, re-seeded stochastics), so
+ * every run after the first skips kernel code emission, harness
+ * assembly, and linking. A session run is result-identical to a
+ * fresh MeasurementHarness::measure() with the same seed (asserted
+ * by tests/test_parallel.cc); caching is therefore invisible in
+ * study output.
+ *
+ * ProgramCache memoizes sessions by (configuration, benchmark) so
+ * per-point run loops — and anything else replaying a configuration
+ * — share one immutable assembled program. Neither class is
+ * thread-safe: under the parallel study engine each worker owns a
+ * private cache (points are partitioned, never split across
+ * workers).
+ */
+
+#ifndef PCA_HARNESS_SESSION_HH
+#define PCA_HARNESS_SESSION_HH
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "harness/harness.hh"
+
+namespace pca::harness
+{
+
+/**
+ * One assembled measurement program bound to one (rebootable)
+ * machine. Build once, run many: each run() reboots the machine with
+ * the given seed and executes the program from the top — setup,
+ * pattern calls, benchmark, teardown — exactly as a fresh harness
+ * would. Sessions are pinned to one address (the emitted host ops
+ * capture pointers into the session), hence non-copyable and
+ * non-movable.
+ */
+class HarnessSession
+{
+  public:
+    HarnessSession(const HarnessConfig &cfg,
+                   const MicroBenchmark &bench);
+
+    HarnessSession(const HarnessSession &) = delete;
+    HarnessSession &operator=(const HarnessSession &) = delete;
+
+    /** Reboot with @p seed and run the measurement once. */
+    Measurement run(std::uint64_t seed);
+
+    const HarnessConfig &config() const { return cfg; }
+
+    /** Number of run() calls so far (diagnostics). */
+    std::uint64_t runCount() const { return runs; }
+
+  private:
+    HarnessConfig cfg;
+    Machine machine;
+    CaptureSink s0, s1;
+    Count expected = 0;
+    std::uint64_t runs = 0;
+};
+
+/**
+ * LRU cache of HarnessSessions keyed by everything that shapes the
+ * assembled program: the full HarnessConfig minus the seed, plus the
+ * benchmark's cacheKey(). Capacity bounds the number of live
+ * simulated machines; eviction cannot change results because cached
+ * and freshly built sessions are result-identical. Hits and misses
+ * feed the program_cache_hits / program_cache_misses SPC counters.
+ */
+class ProgramCache
+{
+  public:
+    explicit ProgramCache(std::size_t capacity = 32);
+
+    /**
+     * The session for (cfg, bench), building it on a miss. The
+     * reference stays valid until the next session() call (which may
+     * evict it).
+     */
+    HarnessSession &session(const HarnessConfig &cfg,
+                            const MicroBenchmark &bench);
+
+    /** Cache key for (cfg, bench); exposed for tests. */
+    static std::string key(const HarnessConfig &cfg,
+                           const MicroBenchmark &bench);
+
+    std::size_t size() const { return entries.size(); }
+    std::uint64_t hits() const { return hitCount; }
+    std::uint64_t misses() const { return missCount; }
+
+  private:
+    using Entry =
+        std::pair<std::string, std::unique_ptr<HarnessSession>>;
+
+    std::size_t cap;
+    std::list<Entry> entries; //!< most recently used first
+    std::unordered_map<std::string, std::list<Entry>::iterator> index;
+    std::uint64_t hitCount = 0;
+    std::uint64_t missCount = 0;
+};
+
+/**
+ * The shared per-point measurement loop: @p runs seeded runs of
+ * @p bench at @p cfg through @p cache, reusing one assembled
+ * program. seed_for(r) supplies run r's machine seed (studies and
+ * bench drivers differ only in that derivation). Results are in run
+ * order.
+ */
+std::vector<Measurement>
+measurePoint(ProgramCache &cache, const HarnessConfig &cfg,
+             const MicroBenchmark &bench, int runs,
+             const std::function<std::uint64_t(int)> &seed_for);
+
+} // namespace pca::harness
+
+#endif // PCA_HARNESS_SESSION_HH

@@ -8,9 +8,19 @@ namespace pca::kernel
 InterruptController::InterruptController(Cycles timer_period,
                                          Cycles io_mean_interval,
                                          std::uint64_t seed)
-    : rng(seed), timerPeriod(timer_period),
-      ioMeanInterval(io_mean_interval)
+    : timerPeriod(timer_period), ioMeanInterval(io_mean_interval)
 {
+    reset(seed);
+}
+
+void
+InterruptController::reset(std::uint64_t seed)
+{
+    rng = Rng(seed);
+    timerCount = 0;
+    ioCount = 0;
+    nextTimer = never;
+    nextIo = never;
     if (timerPeriod > 0) {
         // Random phase: measurements start anywhere in a tick period.
         nextTimer = rng.nextBelow(timerPeriod) + 1;

@@ -43,6 +43,15 @@ class InterruptController : public cpu::InterruptClient
     InterruptController(Cycles timer_period, Cycles io_mean_interval,
                         std::uint64_t seed);
 
+    /**
+     * Return to the just-constructed state for @p seed: re-seeded
+     * RNG, fresh timer phase and I/O arrival, zeroed delivery
+     * counts. A reset controller is indistinguishable from one newly
+     * constructed with the same arguments (the machine-reboot
+     * equivalence the harness reuse path relies on).
+     */
+    void reset(std::uint64_t seed);
+
     Cycles nextInterruptCycle() const override;
     int pollInterrupt(Cycles now) override;
 

@@ -225,6 +225,19 @@ Kernel::buildInto(isa::Program &prog)
 }
 
 void
+Kernel::reset(std::uint64_t seed)
+{
+    // Mirror the constructor's seed derivations exactly: a reset
+    // kernel replays the same interrupt phases and scheduling
+    // decisions as one freshly constructed with this seed.
+    schedRng = Rng(mixSeed(seed, 0x5eedULL));
+    intCtrl.reset(mixSeed(seed, 0x1234ULL));
+    ctxswCount = 0;
+    for (KernelModule *m : modules)
+        m->reset();
+}
+
+void
 Kernel::attach(cpu::Core &core)
 {
     pca_assert(built && builtProgram && builtProgram->linked());

@@ -76,6 +76,16 @@ class Kernel
     /** Install trap entries + interrupt client (after linking). */
     void attach(cpu::Core &core);
 
+    /**
+     * Return the kernel and its loaded modules to the freshly booted
+     * state for @p seed: re-seeded scheduler RNG, fresh interrupt
+     * phases, zeroed context-switch count, reset module state. Built
+     * code blocks and the attached core are kept. With the same seed
+     * the kernel's subsequent behavior is identical to a newly
+     * constructed kernel's (Machine::reboot's contract).
+     */
+    void reset(std::uint64_t seed);
+
     /** Map a syscall number to a handler block (module API). */
     void registerSyscall(int nr, const std::string &block_name);
 

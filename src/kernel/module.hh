@@ -57,6 +57,17 @@ class KernelModule
      * (per-thread counter bookkeeping in the tick path).
      */
     virtual int tickExtraInstrs() const { return 0; }
+
+    /**
+     * Drop all run-time state (sessions, staged syscall arguments,
+     * read buffers) and return to the just-loaded state. Emitted
+     * code blocks are kept: they belong to the program, which
+     * survives a machine reboot. A reset module must be
+     * indistinguishable from a freshly constructed one as far as
+     * program execution is concerned — the harness reuse path
+     * (Machine::reboot) depends on it.
+     */
+    virtual void reset() {}
 };
 
 } // namespace pca::kernel

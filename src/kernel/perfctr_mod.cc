@@ -155,6 +155,18 @@ PerfctrModule::buildBlocks(isa::Program &prog, Kernel &kernel)
 }
 
 void
+PerfctrModule::reset()
+{
+    pendingControl = PerfctrControl{};
+    readBuf.clear();
+    readTsc = 0;
+    control = PerfctrControl{};
+    active = false;
+    resumes = 0;
+    suspendedEnables.clear();
+}
+
+void
 PerfctrModule::sysOpen(CpuContext &ctx, cpu::Core &core)
 {
     // Mapping the state page sets CR4.PCE for this task.

@@ -49,6 +49,7 @@ class PerfctrModule : public KernelModule
     void onSwitchOut(cpu::Core &core) override;
     void onSwitchIn(cpu::Core &core) override;
     int tickExtraInstrs() const override { return 40; }
+    void reset() override;
 
     // --- syscall ABI staging (set by libperfctr before the trap) ---
     PerfctrControl pendingControl;

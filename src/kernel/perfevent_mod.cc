@@ -150,6 +150,17 @@ PerfEventModule::buildBlocks(isa::Program &prog, Kernel &kernel)
 }
 
 void
+PerfEventModule::reset()
+{
+    pendingEvent = cpu::EventType::InstrRetired;
+    pendingPl = PlMask::UserKernel;
+    argFd = -1;
+    readValue = 0;
+    fds.clear();
+    suspendedEnables.clear();
+}
+
+void
 PerfEventModule::onSwitchOut(cpu::Core &core)
 {
     suspendedEnables.assign(fds.size(), false);

@@ -63,6 +63,7 @@ class PerfEventModule : public KernelModule
     void onSwitchOut(cpu::Core &core) override;
     void onSwitchIn(cpu::Core &core) override;
     int tickExtraInstrs() const override { return 120; }
+    void reset() override;
 
     // --- syscall ABI staging ---
     /** Attributes for the next perf_event_open call. */

@@ -335,6 +335,30 @@ PerfmonModule::buildBlocks(isa::Program &prog, Kernel &kernel)
 }
 
 void
+PerfmonModule::reset()
+{
+    pendingConfig = PerfmonConfig{};
+    pendingMpx = PerfmonMpxSpec{};
+    pendingSampling = PerfmonSamplingSpec{};
+    readBuf.clear();
+    mpxReadBuf.clear();
+    config = PerfmonConfig{};
+    loaded = false;
+    running = false;
+    suspendedEnables.clear();
+    samplingOn = false;
+    smpl = PerfmonSamplingSpec{};
+    sampleBuf.clear();
+    mpx = PerfmonMpxSpec{};
+    mpxOn = false;
+    mpxRunning = false;
+    mpxCurGroup = 0;
+    mpxTotalTicks = 0;
+    mpxGroupTicks.clear();
+    mpxSoft.clear();
+}
+
+void
 PerfmonModule::onPmi(cpu::Core &core)
 {
     if (!samplingOn)

@@ -70,6 +70,7 @@ class PerfmonModule : public KernelModule
     void onTick(cpu::Core &core) override;
     void onPmi(cpu::Core &core) override;
     int tickExtraInstrs() const override { return 90; }
+    void reset() override;
 
     // --- syscall ABI staging (set by libpfm before the trap) ---
     PerfmonConfig pendingConfig;

@@ -33,6 +33,9 @@ spcName(Spc c)
       case Spc::PatternOverheadInstrs:
         return "pattern_overhead_instrs";
       case Spc::FastForwardIters: return "fast_forward_iters";
+      case Spc::MachineReboots: return "machine_reboots";
+      case Spc::ProgramCacheHits: return "program_cache_hits";
+      case Spc::ProgramCacheMisses: return "program_cache_misses";
       case Spc::NumSpcs: break;
     }
     return "?";

@@ -40,6 +40,9 @@ enum class Spc : std::uint8_t
     PatternCallsStop,   //!< API stop(+read) calls emitted
     PatternOverheadInstrs, //!< measured-window overhead instructions
     FastForwardIters,   //!< loop iterations applied in bulk
+    MachineReboots,     //!< session reuses (reboot without re-assembly)
+    ProgramCacheHits,   //!< assembled-program cache hits
+    ProgramCacheMisses, //!< assembled-program cache misses (builds)
     NumSpcs,
 };
 

@@ -1,5 +1,6 @@
 #include "obs/trace.hh"
 
+#include <atomic>
 #include <cstdio>
 
 namespace pca::obs
@@ -33,6 +34,20 @@ jsonEscape(const std::string &s)
     return out;
 }
 
+/**
+ * Small sequential id for the calling thread, assigned on first
+ * trace. Chrome trace viewers pair B/E events per (pid, tid), so
+ * stamping the recording thread keeps concurrent workers' scope
+ * stacks separate.
+ */
+int
+currentTid()
+{
+    static std::atomic<int> next{1};
+    thread_local int tid = next.fetch_add(1, std::memory_order_relaxed);
+    return tid;
+}
+
 } // namespace
 
 Tracer &
@@ -49,7 +64,7 @@ Tracer::begin(const std::string &name, const std::string &cat,
     if (!enabled())
         return;
     std::lock_guard<std::mutex> lock(mu);
-    events.push_back({'B', name, cat, ts, 0});
+    events.push_back({'B', name, cat, ts, 0, currentTid()});
 }
 
 void
@@ -58,7 +73,7 @@ Tracer::end(Cycles ts)
     if (!enabled())
         return;
     std::lock_guard<std::mutex> lock(mu);
-    events.push_back({'E', "", "", ts, 0});
+    events.push_back({'E', "", "", ts, 0, currentTid()});
 }
 
 void
@@ -68,7 +83,7 @@ Tracer::instant(const std::string &name, const std::string &cat,
     if (!enabled())
         return;
     std::lock_guard<std::mutex> lock(mu);
-    events.push_back({'i', name, cat, ts, 0});
+    events.push_back({'i', name, cat, ts, 0, currentTid()});
 }
 
 void
@@ -78,7 +93,7 @@ Tracer::complete(const std::string &name, const std::string &cat,
     if (!enabled())
         return;
     std::lock_guard<std::mutex> lock(mu);
-    events.push_back({'X', name, cat, start, dur});
+    events.push_back({'X', name, cat, start, dur, currentTid()});
 }
 
 std::size_t
@@ -105,8 +120,8 @@ Tracer::writeChromeJson(std::ostream &os) const
         if (!first)
             os << ',';
         first = false;
-        os << "\n{\"ph\":\"" << e.ph << "\",\"pid\":1,\"tid\":1"
-           << ",\"ts\":" << e.ts;
+        os << "\n{\"ph\":\"" << e.ph << "\",\"pid\":1,\"tid\":"
+           << e.tid << ",\"ts\":" << e.ts;
         if (e.ph == 'X')
             os << ",\"dur\":" << e.dur;
         // Instant events need a scope; 't' = thread.

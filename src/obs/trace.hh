@@ -31,13 +31,17 @@ struct TraceEvent
     std::string cat;  //!< category ("kernel", "harness", ...)
     Cycles ts = 0;    //!< simulated-cycle timestamp
     Cycles dur = 0;   //!< duration, 'X' events only
+    int tid = 1;      //!< recording thread (small sequential id)
 };
 
 /**
  * Global event buffer. The simulator is single-threaded per machine,
- * but studies may shard machines across threads later: all mutation
- * goes through one mutex, and the enabled flag is a relaxed atomic
- * so disabled call sites stay cheap.
+ * but the parallel study engine shards machines across threads: all
+ * mutation goes through one mutex, the enabled flag is a relaxed
+ * atomic so disabled call sites stay cheap, and every event is
+ * stamped with a small per-thread id so B/E scopes recorded by
+ * concurrent workers pair up within their own track instead of
+ * interleaving into one broken stack.
  */
 class Tracer
 {

@@ -1,0 +1,89 @@
+#include "support/parallel.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace pca
+{
+
+int
+hardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int
+defaultThreadCount()
+{
+    const char *spec = std::getenv("PCA_THREADS");
+    if (!spec || !*spec)
+        return hardwareThreads();
+    char *end = nullptr;
+    const long v = std::strtol(spec, &end, 10);
+    if (end == spec || *end != '\0' || v < 1) {
+        pca_warn("PCA_THREADS: ignoring unparsable value '", spec,
+                 "'");
+        return hardwareThreads();
+    }
+    return v > 256 ? 256 : static_cast<int>(v);
+}
+
+void
+parallelFor(std::size_t n,
+            const std::function<void(std::size_t, int)> &fn,
+            int threads)
+{
+    if (threads <= 0)
+        threads = defaultThreadCount();
+    if (static_cast<std::size_t>(threads) > n)
+        threads = n == 0 ? 1 : static_cast<int>(n);
+
+    if (threads == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i, 0);
+        return;
+    }
+
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+
+    auto work = [&](int worker) {
+        while (!failed.load(std::memory_order_relaxed)) {
+            const std::size_t i =
+                cursor.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i, worker);
+            } catch (...) {
+                const std::lock_guard<std::mutex> lock(error_mu);
+                if (!first_error)
+                    first_error = std::current_exception();
+                failed.store(true, std::memory_order_relaxed);
+                return;
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads) - 1);
+    for (int w = 1; w < threads; ++w)
+        pool.emplace_back(work, w);
+    work(0);
+    for (std::thread &t : pool)
+        t.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+} // namespace pca

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Deterministic work partitioning for the study sweeps: a small
+ * fork-join helper that fans an index range out over PCA_THREADS
+ * workers with atomic index claiming. Callers write results into
+ * pre-sized per-index slots and merge them in index order, so the
+ * output is byte-identical no matter how the indices land on
+ * workers (the "parallelism is invisible" guarantee the tests and
+ * CI enforce).
+ */
+
+#ifndef PCA_SUPPORT_PARALLEL_HH
+#define PCA_SUPPORT_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+
+namespace pca
+{
+
+/** std::thread::hardware_concurrency with a floor of 1. */
+int hardwareThreads();
+
+/**
+ * Worker count for study sweeps: PCA_THREADS when set (clamped to
+ * [1, 256]; unparsable values warn and fall back), otherwise the
+ * hardware concurrency. Read from the environment on every call so
+ * tests can flip it between sweeps.
+ */
+int defaultThreadCount();
+
+/**
+ * Run fn(index, worker) for every index in [0, n).
+ *
+ * @param n        number of work items
+ * @param threads  worker count; <= 0 means defaultThreadCount()
+ * @param fn       receives the item index and the id (0-based,
+ *                 < threads) of the worker executing it
+ *
+ * With one worker (or n <= 1) everything runs inline on the calling
+ * thread as a plain loop, in index order — exactly today's serial
+ * behavior. With more, workers claim indices from a shared atomic
+ * cursor, so each index runs exactly once, on exactly one worker.
+ * Indices are claimed in ascending order but may complete out of
+ * order; any fn() may run concurrently with any other.
+ *
+ * If fn throws, the first exception (in claim order) is captured,
+ * remaining unclaimed indices are abandoned, all workers are
+ * joined, and the exception is rethrown on the calling thread.
+ */
+void parallelFor(std::size_t n,
+                 const std::function<void(std::size_t, int)> &fn,
+                 int threads = 0);
+
+} // namespace pca
+
+#endif // PCA_SUPPORT_PARALLEL_HH
