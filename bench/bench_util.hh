@@ -61,12 +61,14 @@ nullErrors(harness::HarnessConfig cfg, int runs,
     const harness::NullBench bench;
     std::vector<double> errs;
     errs.reserve(static_cast<std::size_t>(runs));
-    for (const harness::Measurement &m : harness::measurePoint(
+    for (const StatusOr<harness::Measurement> &m :
+         harness::measurePoint(
              cache, cfg, bench, runs, [seed](int r) {
                  return mixSeed(seed,
                                 static_cast<std::uint64_t>(r));
              }))
-        errs.push_back(static_cast<double>(m.error()));
+        if (m.ok())
+            errs.push_back(static_cast<double>(m->error()));
     return errs;
 }
 

@@ -10,6 +10,13 @@
  * path (fresh machine + re-assembly per run) against the parallel
  * engine with the cross-run program cache — and writes points/sec,
  * speedup, and the cache hit rate to BENCH_studies.json.
+ *
+ * `perf_simulator --chaos [output.json]` soaks the resilient engine:
+ * the fig01 workload runs under a PCA_FAULTS rate sweep at a fixed
+ * fault-plan seed, asserting that every sweep step completes without
+ * aborting, that degraded rows stay bounded, and that the chaos
+ * output is deterministic. Results (fault plan, degraded counts,
+ * retry totals) go to BENCH_chaos.json.
  */
 
 #include <benchmark/benchmark.h>
@@ -28,6 +35,7 @@
 #include "harness/microbench.hh"
 #include "harness/session.hh"
 #include "isa/assembler.hh"
+#include "kernel/faults.hh"
 #include "obs/spc.hh"
 #include "support/parallel.hh"
 #include "support/random.hh"
@@ -276,7 +284,7 @@ runStudiesMode(const std::string &out_path)
 
     obs::spcReset();
     obs::spcAttach("program_cache_hits,program_cache_misses,"
-                   "machine_reboots");
+                   "machine_reboots,faults_injected,session_retries");
     const int threads = defaultThreadCount();
     const auto t1 = std::chrono::steady_clock::now();
     const auto engine = core::runNullErrorStudy(
@@ -286,6 +294,10 @@ runStudiesMode(const std::string &out_path)
         static_cast<double>(obs::spcValue(obs::Spc::ProgramCacheHits));
     const double misses = static_cast<double>(
         obs::spcValue(obs::Spc::ProgramCacheMisses));
+    const Count faultsInjected =
+        obs::spcValue(obs::Spc::FaultsInjected);
+    const Count sessionRetries =
+        obs::spcValue(obs::Spc::SessionRetries);
     obs::spcReset();
 
     std::cout << "engine (" << threads << " thread"
@@ -332,7 +344,148 @@ runStudiesMode(const std::string &out_path)
        << "  \"cache_misses\": " << static_cast<Count>(misses)
        << ",\n"
        << "  \"cache_hit_rate\": " << fmtDouble(hitRate, 4) << ",\n"
+       << "  \"fault_plan\": \""
+       << kernel::FaultPlan::fromEnv().fingerprint() << "\",\n"
+       << "  \"fault_plan_seed\": "
+       << kernel::FaultPlan::fromEnv().seed << ",\n"
+       << "  \"faults_injected\": " << faultsInjected << ",\n"
+       << "  \"session_retries\": " << sessionRetries << ",\n"
        << "  \"outputs_identical\": true\n"
+       << "}\n";
+    std::cout << "wrote " << out_path << "\n";
+    return 0;
+}
+
+// ---------------------------------------------------------------- //
+// --chaos: fault-rate soak of the resilient study engine
+// ---------------------------------------------------------------- //
+
+struct ChaosStep
+{
+    double rate = 0.0;
+    std::string plan;       //!< PCA_FAULTS spec for this step
+    std::string fingerprint;
+    std::size_t rows = 0;
+    std::size_t degraded = 0;
+    Count faultsInjected = 0;
+    Count sessionRetries = 0;
+    double sec = 0.0;
+};
+
+int
+runChaosMode(const std::string &out_path)
+{
+    // A slice of the fig01 workload — enough factor points to hit
+    // every interface and pattern, small enough to soak several
+    // fault rates in seconds.
+    const auto points = core::FactorSpace()
+                            .counterCounts({1, 2})
+                            .tscSettings({true})
+                            .generate();
+    constexpr int runsPerPoint = 4;
+    constexpr std::uint64_t seed = 20260704;
+    constexpr std::uint64_t faultSeed = 7;
+    const double rates[] = {0.0, 0.01, 0.05, 0.2};
+
+    std::cout << "chaos workload: " << points.size() << " points x "
+              << runsPerPoint << " runs, fault rates {0, 0.01, "
+                 "0.05, 0.2}\n";
+
+    // Reference output: no fault plan at all. Every sweep step with
+    // rate 0 must be byte-identical to this (inert plan == no plan).
+    unsetenv("PCA_FAULTS");
+    const std::string baseline = csvOf(core::runNullErrorStudy(
+        points, runsPerPoint, seed, core::StudyObsOptions{}));
+
+    std::vector<ChaosStep> steps;
+    for (const double rate : rates) {
+        ChaosStep step;
+        step.rate = rate;
+        step.plan = "seed=" + std::to_string(faultSeed) +
+                    ",rate=" + fmtDouble(rate, 2) + ",width=48";
+        setenv("PCA_FAULTS", step.plan.c_str(), 1);
+        step.fingerprint =
+            kernel::FaultPlan::fromEnv().fingerprint();
+
+        obs::spcReset();
+        obs::spcAttach("faults_injected,session_retries,"
+                       "degraded_points");
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto table = core::runNullErrorStudy(
+            points, runsPerPoint, seed, core::StudyObsOptions{});
+        step.sec = secondsSince(t0);
+        step.rows = table.size();
+        step.degraded = table.degradedCount();
+        step.faultsInjected = obs::spcValue(obs::Spc::FaultsInjected);
+        step.sessionRetries = obs::spcValue(obs::Spc::SessionRetries);
+        obs::spcReset();
+
+        // Determinism: the same plan and seed must reproduce the
+        // same table bytes (the fault schedule is seeded, not timed).
+        const std::string csv = csvOf(table);
+        const auto replay = csvOf(core::runNullErrorStudy(
+            points, runsPerPoint, seed, core::StudyObsOptions{}));
+        if (csv != replay) {
+            std::cerr << "FATAL: chaos output not deterministic at "
+                         "rate "
+                      << rate << "\n";
+            return 1;
+        }
+        if (rate == 0.0 && csv != baseline) {
+            std::cerr << "FATAL: rate-0 plan perturbed the study "
+                         "output\n";
+            return 1;
+        }
+
+        // Degradation must stay bounded: transient faults are
+        // retried, so a run only degrades after failing all
+        // 1 + maxRetries attempts. Half the table degrading means
+        // the retry path is broken, not that faults were injected.
+        if (step.degraded * 2 > step.rows) {
+            std::cerr << "FATAL: " << step.degraded << "/"
+                      << step.rows << " rows degraded at rate "
+                      << rate << "\n";
+            return 1;
+        }
+        if (rate == 0.0 && step.degraded != 0) {
+            std::cerr << "FATAL: degraded rows without faults\n";
+            return 1;
+        }
+
+        std::cout << "rate " << fmtDouble(rate, 2) << ": "
+                  << step.rows << " rows, " << step.degraded
+                  << " degraded, " << step.faultsInjected
+                  << " faults injected, " << step.sessionRetries
+                  << " retries, " << fmtDouble(step.sec, 2) << " s\n";
+        steps.push_back(step);
+    }
+    unsetenv("PCA_FAULTS");
+
+    std::ofstream os(out_path);
+    if (!os) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+    }
+    os << "{\n"
+       << "  \"workload\": \"fig01_null_error_chaos\",\n"
+       << "  \"points\": " << points.size() << ",\n"
+       << "  \"runs_per_point\": " << runsPerPoint << ",\n"
+       << "  \"threads\": " << defaultThreadCount() << ",\n"
+       << "  \"fault_plan_seed\": " << faultSeed << ",\n"
+       << "  \"steps\": [\n";
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+        const ChaosStep &s = steps[i];
+        os << "    {\"rate\": " << fmtDouble(s.rate, 2)
+           << ", \"fault_plan\": \"" << s.fingerprint
+           << "\", \"rows\": " << s.rows
+           << ", \"degraded\": " << s.degraded
+           << ", \"faults_injected\": " << s.faultsInjected
+           << ", \"session_retries\": " << s.sessionRetries
+           << ", \"sec\": " << fmtDouble(s.sec, 4) << "}"
+           << (i + 1 < steps.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n"
+       << "  \"completed\": true\n"
        << "}\n";
     std::cout << "wrote " << out_path << "\n";
     return 0;
@@ -349,6 +502,12 @@ main(int argc, char **argv)
                 ? argv[i + 1]
                 : "BENCH_studies.json";
             return runStudiesMode(out);
+        }
+        if (std::strcmp(argv[i], "--chaos") == 0) {
+            const std::string out = i + 1 < argc
+                ? argv[i + 1]
+                : "BENCH_chaos.json";
+            return runChaosMode(out);
         }
     }
     benchmark::Initialize(&argc, argv);

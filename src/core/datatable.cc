@@ -19,10 +19,26 @@ DataTable::DataTable(std::vector<std::string> key_columns,
 void
 DataTable::add(std::vector<std::string> keys, double value)
 {
+    add(std::move(keys), value, std::string());
+}
+
+void
+DataTable::add(std::vector<std::string> keys, double value,
+               std::string note)
+{
     if (keys.size() != keyCols.size())
         pca_panic("row has ", keys.size(), " keys, table has ",
                   keyCols.size(), " columns");
-    rowStore.push_back({std::move(keys), value});
+    rowStore.push_back({std::move(keys), value, std::move(note)});
+}
+
+std::size_t
+DataTable::degradedCount() const
+{
+    std::size_t n = 0;
+    for (const auto &row : rowStore)
+        n += row.degraded() ? 1 : 0;
+    return n;
 }
 
 void
@@ -134,10 +150,17 @@ DataTable::printSummary(std::ostream &os,
 void
 DataTable::writeCsv(std::ostream &os) const
 {
-    os << join(keyCols, ",") << ',' << valueName << '\n';
-    for (const auto &row : rowStore)
-        os << join(row.keys, ",") << ',' << fmtDouble(row.value, 6)
-           << '\n';
+    const bool annotated = degradedCount() > 0;
+    os << join(keyCols, ",") << ',' << valueName;
+    if (annotated)
+        os << ",status";
+    os << '\n';
+    for (const auto &row : rowStore) {
+        os << join(row.keys, ",") << ',' << fmtDouble(row.value, 6);
+        if (annotated)
+            os << ',' << (row.degraded() ? row.note : "ok");
+        os << '\n';
+    }
 }
 
 } // namespace pca::core

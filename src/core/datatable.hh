@@ -24,6 +24,16 @@ struct DataRow
 {
     std::vector<std::string> keys;
     double value = 0;
+
+    /**
+     * Row annotation; empty for a healthy measurement. Degraded
+     * factor points (a run that failed even after retries) carry
+     * "degraded:<code>:<cause>" here instead of silently vanishing
+     * from the table.
+     */
+    std::string note;
+
+    bool degraded() const { return !note.empty(); }
 };
 
 /** A group produced by DataTable::groupBy. */
@@ -46,6 +56,13 @@ class DataTable
 
     /** Append one observation. */
     void add(std::vector<std::string> keys, double value);
+
+    /** Append one annotated (typically degraded) observation. */
+    void add(std::vector<std::string> keys, double value,
+             std::string note);
+
+    /** Rows whose note is non-empty. */
+    std::size_t degradedCount() const;
 
     /** Append all rows of another table (same columns). */
     void append(const DataTable &other);
@@ -86,7 +103,12 @@ class DataTable
     void printSummary(std::ostream &os,
                       const std::vector<std::string> &columns) const;
 
-    /** Write all rows as CSV (header first). */
+    /**
+     * Write all rows as CSV (header first). A trailing "status"
+     * column (ok / degraded:...) appears only when some row carries a
+     * note, so fault-free output is byte-identical to tables that
+     * never heard of degradation.
+     */
     void writeCsv(std::ostream &os) const;
 
   private:

@@ -8,7 +8,9 @@
 
 #include "harness/microbench.hh"
 #include "harness/session.hh"
+#include "kernel/faults.hh"
 #include "obs/attribution.hh"
+#include "obs/spc.hh"
 #include "support/logging.hh"
 #include "support/parallel.hh"
 #include "support/random.hh"
@@ -168,14 +170,34 @@ appendAttrKeys(std::vector<std::string> &keys,
 }
 
 std::vector<double>
-errorsOf(const std::vector<Measurement> &ms)
+errorsOf(const std::vector<StatusOr<Measurement>> &ms)
 {
     std::vector<double> out;
     out.reserve(ms.size());
-    for (const Measurement &m : ms)
-        out.push_back(static_cast<double>(m.error()));
+    for (const auto &m : ms)
+        if (m.ok())
+            out.push_back(static_cast<double>(m->error()));
     return out;
 }
+
+/**
+ * Row annotation for a factor point whose run failed even after the
+ * session's retries: "degraded:<code>:<cause>". Commas and newlines
+ * in the cause are flattened so the note stays one CSV cell.
+ */
+std::string
+degradedNote(const Status &st)
+{
+    std::string out = "degraded:";
+    out += statusCodeName(st.code());
+    out += ':';
+    for (char c : st.message())
+        out += (c == ',' || c == '\n') ? ';' : c;
+    return out;
+}
+
+constexpr double degradedValue =
+    std::numeric_limits<double>::quiet_NaN();
 
 /**
  * One program cache per worker. Caches (and the sessions inside
@@ -209,6 +231,7 @@ runNullErrorStudy(const std::vector<FactorPoint> &points,
     DataTable table(cols, "error");
     StudyObserver observer(obs_opt, "null_error", points.size());
     const NullBench bench;
+    const kernel::FaultPlan fault_plan = kernel::FaultPlan::fromEnv();
 
     // Fan the factor points over the worker pool. Every run's seed
     // is a pure function of (study seed, point index, run index), so
@@ -216,12 +239,14 @@ runNullErrorStudy(const std::vector<FactorPoint> &points,
     // point; the merge below re-establishes point order, making the
     // emitted table byte-identical for every PCA_THREADS value.
     std::vector<ProgramCache> caches = makeWorkerCaches();
-    std::vector<std::vector<Measurement>> slots(points.size());
+    std::vector<std::vector<StatusOr<Measurement>>> slots(
+        points.size());
     parallelFor(
         points.size(), [&](std::size_t i, int worker) {
             const FactorPoint &p = points[i];
             const std::uint64_t point_id = i + 1;
-            const HarnessConfig cfg = p.toHarnessConfig(seed);
+            HarnessConfig cfg = p.toHarnessConfig(seed);
+            cfg.faults = fault_plan;
             slots[i] = harness::measurePoint(
                 caches[static_cast<std::size_t>(worker)], cfg, bench,
                 runs_per_point, [&](int r) {
@@ -242,7 +267,7 @@ runNullErrorStudy(const std::vector<FactorPoint> &points,
     for (std::size_t i = 0; i < points.size(); ++i) {
         const FactorPoint &p = points[i];
         for (int r = 0; r < runs_per_point; ++r) {
-            const Measurement &m =
+            const StatusOr<Measurement> &m =
                 slots[i][static_cast<std::size_t>(r)];
             std::vector<std::string> keys{
                 cpu::processorCode(p.processor),
@@ -254,8 +279,15 @@ runNullErrorStudy(const std::vector<FactorPoint> &points,
                 p.tsc ? "on" : "off",
                 std::to_string(r)};
             if (obs_opt.attributionColumns)
-                appendAttrKeys(keys, m.attribution);
-            table.add(keys, static_cast<double>(m.error()));
+                appendAttrKeys(keys, m.ok() ? m->attribution
+                                            : obs::ErrorAttribution{});
+            if (m.ok()) {
+                table.add(keys, static_cast<double>(m->error()));
+            } else {
+                PCA_SPC_INC(DegradedPoints);
+                table.add(keys, degradedValue,
+                          degradedNote(m.status()));
+            }
         }
     }
     observer.finish();
@@ -287,9 +319,10 @@ runDurationStudy(const DurationStudyOptions &opt)
         }
 
     StudyObserver observer(opt.obs, "duration", pts.size());
+    const kernel::FaultPlan fault_plan = kernel::FaultPlan::fromEnv();
 
     std::vector<ProgramCache> caches = makeWorkerCaches();
-    std::vector<std::vector<Measurement>> slots(pts.size());
+    std::vector<std::vector<StatusOr<Measurement>>> slots(pts.size());
     parallelFor(
         pts.size(), [&](std::size_t i, int worker) {
             const Point &p = pts[i];
@@ -299,6 +332,7 @@ runDurationStudy(const DurationStudyOptions &opt)
             cfg.iface = p.iface;
             cfg.pattern = opt.pattern;
             cfg.mode = opt.mode;
+            cfg.faults = fault_plan;
             // Legacy serial numbering: point_id ticked once per run,
             // in point order. Preserved exactly so the table matches
             // the pre-parallel engine bit for bit.
@@ -322,15 +356,22 @@ runDurationStudy(const DurationStudyOptions &opt)
     for (std::size_t i = 0; i < pts.size(); ++i) {
         const Point &p = pts[i];
         for (int r = 0; r < opt.runsPerSize; ++r) {
-            const Measurement &m =
+            const StatusOr<Measurement> &m =
                 slots[i][static_cast<std::size_t>(r)];
             std::vector<std::string> keys{
                 cpu::processorCode(p.proc),
                 harness::interfaceCode(p.iface),
                 std::to_string(p.size), std::to_string(r)};
             if (opt.obs.attributionColumns)
-                appendAttrKeys(keys, m.attribution);
-            table.add(keys, static_cast<double>(m.error()));
+                appendAttrKeys(keys, m.ok() ? m->attribution
+                                            : obs::ErrorAttribution{});
+            if (m.ok()) {
+                table.add(keys, static_cast<double>(m->error()));
+            } else {
+                PCA_SPC_INC(DegradedPoints);
+                table.add(keys, degradedValue,
+                          degradedNote(m.status()));
+            }
         }
     }
     observer.finish();
@@ -391,8 +432,9 @@ runCycleStudy(const CycleStudyOptions &opt)
                             {proc, iface, pat, opt_level, size});
             }
 
+    const kernel::FaultPlan fault_plan = kernel::FaultPlan::fromEnv();
     std::vector<ProgramCache> caches = makeWorkerCaches();
-    std::vector<std::vector<Measurement>> slots(pts.size());
+    std::vector<std::vector<StatusOr<Measurement>>> slots(pts.size());
     parallelFor(
         pts.size(), [&](std::size_t i, int worker) {
             const Point &p = pts[i];
@@ -404,6 +446,7 @@ runCycleStudy(const CycleStudyOptions &opt)
             cfg.optLevel = p.optLevel;
             cfg.mode = harness::CountingMode::UserKernel;
             cfg.primaryEvent = cpu::EventType::CpuClkUnhalted;
+            cfg.faults = fault_plan;
             // Same legacy per-run numbering as the duration study.
             const std::uint64_t base =
                 static_cast<std::uint64_t>(i) *
@@ -419,15 +462,24 @@ runCycleStudy(const CycleStudyOptions &opt)
 
     for (std::size_t i = 0; i < pts.size(); ++i) {
         const Point &p = pts[i];
-        for (int r = 0; r < opt.runsPerConfig; ++r)
-            table.add({cpu::processorCode(p.proc),
-                       harness::interfaceCode(p.iface),
-                       harness::patternName(p.pat),
-                       "O" + std::to_string(p.optLevel),
-                       std::to_string(p.size), std::to_string(r)},
-                      static_cast<double>(
-                          slots[i][static_cast<std::size_t>(r)]
-                              .delta()));
+        for (int r = 0; r < opt.runsPerConfig; ++r) {
+            const StatusOr<Measurement> &m =
+                slots[i][static_cast<std::size_t>(r)];
+            std::vector<std::string> keys{
+                cpu::processorCode(p.proc),
+                harness::interfaceCode(p.iface),
+                harness::patternName(p.pat),
+                "O" + std::to_string(p.optLevel),
+                std::to_string(p.size), std::to_string(r)};
+            if (m.ok()) {
+                table.add(keys,
+                          static_cast<double>(m->delta()));
+            } else {
+                PCA_SPC_INC(DegradedPoints);
+                table.add(keys, degradedValue,
+                          degradedNote(m.status()));
+            }
+        }
     }
     return table;
 }

@@ -109,9 +109,9 @@ Pmu::rdmsr(std::uint32_t msr) const
         return encodeEvtSel(c.event, c.pl, c.enabled);
     }
     if (msr >= msrPmcBase && msr < msrPmcBase + prog.size())
-        return prog[msr - msrPmcBase].value;
+        return prog[msr - msrPmcBase].value & widthMask;
     if (msr >= msrFixedCtrBase && msr < msrFixedCtrBase + fixed.size())
-        return fixed[msr - msrFixedCtrBase].value;
+        return fixed[msr - msrFixedCtrBase].value & widthMask;
     pca_panic("rdmsr of unknown MSR 0x", std::hex, msr);
 }
 
@@ -122,7 +122,7 @@ Pmu::rdpmc(std::uint64_t select) const
         const auto i = static_cast<std::size_t>(select & ~rdpmcFixedBit);
         if (i >= fixed.size())
             pca_panic("rdpmc: no fixed counter ", i);
-        return fixed[i].value;
+        return fixed[i].value & widthMask;
     }
     if (select >= prog.size())
         pca_panic("rdpmc: no programmable counter ", select);
@@ -130,7 +130,16 @@ Pmu::rdpmc(std::uint64_t select) const
     // Latch the class split alongside the value so a capture a few
     // instructions later can attribute exactly this reading.
     readLatch[i] = prog[i].byClass;
-    return prog[i].value;
+    const Count v = prog[i].value & widthMask;
+    return readTamper ? readTamper(v) : v;
+}
+
+void
+Pmu::setCounterWidth(int bits)
+{
+    pca_assert(bits >= 8 && bits <= 64);
+    widthBits = bits;
+    widthMask = bits == 64 ? ~Count{0} : (Count{1} << bits) - 1;
 }
 
 void

@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "cpu/event.hh"
@@ -144,6 +145,29 @@ class Pmu
     /** Directly set the TSC (context restore / virtualization). */
     void setTsc(Count v) { tsc = v; }
 
+    // --- Fault modelling (installed by harness::Machine) ---
+
+    /**
+     * Hardware width of the counters: reads return the stored value
+     * modulo 2^bits, reproducing the 40/48-bit wraparound of real
+     * PMCs. 64 (the default) reads values unmasked. Survives
+     * reset(): the width is a property of the modelled hardware, not
+     * of a boot.
+     */
+    void setCounterWidth(int bits);
+    int counterWidth() const { return widthBits; }
+
+    /**
+     * Optional read-tamper hook: every rdpmc() result is passed
+     * through it (after width masking), so a fault injector can model
+     * torn reads. Null (the default) reads untampered. Survives
+     * reset() for the same reason as the width.
+     */
+    void setReadTamper(std::function<Count(Count)> hook)
+    {
+        readTamper = std::move(hook);
+    }
+
     /** Disable and zero everything (power-on state). */
     void reset();
 
@@ -158,6 +182,9 @@ class Pmu
     Count tsc = 0;
     std::uint64_t armedMask = 0;   //!< counters armed for sampling
     std::uint64_t pendingMask = 0; //!< counters with pending PMIs
+    int widthBits = 64;            //!< counter wrap width
+    Count widthMask = ~Count{0};   //!< 2^widthBits - 1
+    std::function<Count(Count)> readTamper; //!< torn-read hook
 
     /**
      * Cache of enabled counters per (event, mode): counting is on the

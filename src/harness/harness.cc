@@ -76,6 +76,12 @@ MeasurementHarness::measure(const MicroBenchmark &bench) const
     return HarnessSession(cfg, bench).run(cfg.seed);
 }
 
+StatusOr<Measurement>
+MeasurementHarness::tryMeasure(const MicroBenchmark &bench) const
+{
+    return HarnessSession(cfg, bench).tryRun(cfg.seed);
+}
+
 std::vector<Measurement>
 MeasurementHarness::measureMany(const MicroBenchmark &bench,
                                 int runs) const
@@ -87,6 +93,20 @@ MeasurementHarness::measureMany(const MicroBenchmark &bench,
     for (int r = 0; r < runs; ++r)
         out.push_back(
             sess.run(mixSeed(cfg.seed, static_cast<std::uint64_t>(r))));
+    return out;
+}
+
+std::vector<StatusOr<Measurement>>
+MeasurementHarness::tryMeasureMany(const MicroBenchmark &bench,
+                                   int runs) const
+{
+    pca_assert(runs >= 1);
+    HarnessSession sess(cfg, bench);
+    std::vector<StatusOr<Measurement>> out;
+    out.reserve(static_cast<std::size_t>(runs));
+    for (int r = 0; r < runs; ++r)
+        out.push_back(sess.tryRun(
+            mixSeed(cfg.seed, static_cast<std::uint64_t>(r))));
     return out;
 }
 

@@ -70,6 +70,13 @@ struct HarnessConfig
     bool ioInterrupts = true;
     double preemptProb = 0.015;
     bool fastForward = true;
+
+    /**
+     * Fault-injection plan for the machines this config boots
+     * (default: inert). Also sets the session's transient-fault
+     * retry budget (FaultPlan::maxRetries).
+     */
+    kernel::FaultPlan faults;
 };
 
 /** Result of one measurement run. */
@@ -127,6 +134,17 @@ class MeasurementHarness
     /** Run @p runs times with distinct seeds; returns all results. */
     std::vector<Measurement>
     measureMany(const MicroBenchmark &bench, int runs) const;
+
+    /**
+     * Like measure(), but a run that fails (injected fault, refused
+     * precondition) after exhausting the session's transient-fault
+     * retries comes back as a Status instead of throwing.
+     */
+    StatusOr<Measurement> tryMeasure(const MicroBenchmark &bench) const;
+
+    /** Like measureMany(); failed runs are error slots, in order. */
+    std::vector<StatusOr<Measurement>>
+    tryMeasureMany(const MicroBenchmark &bench, int runs) const;
 
     const HarnessConfig &config() const { return cfg; }
 

@@ -19,18 +19,41 @@ Machine::Machine(const MachineConfig &cfg)
     // Load exactly one extension, mirroring the paper's two patched
     // kernels (a perfctr kernel and a perfmon2 kernel) — or the
     // modern perf_event replacement for the forward-looking study.
+    Status mod_status;
     if (cfg.usePerfEvent) {
         peMod = std::make_unique<kernel::PerfEventModule>(archRef);
-        kernelImpl->addModule(peMod.get());
+        mod_status = kernelImpl->addModule(peMod.get());
         peLib = std::make_unique<perfevent::LibPerf>(*peMod);
     } else if (usesPerfmon(cfg.iface)) {
         pmMod = std::make_unique<kernel::PerfmonModule>(archRef);
-        kernelImpl->addModule(pmMod.get());
+        mod_status = kernelImpl->addModule(pmMod.get());
         pmLib = std::make_unique<perfmon::LibPfm>(*pmMod);
     } else {
         pcMod = std::make_unique<kernel::PerfctrModule>(archRef);
-        kernelImpl->addModule(pcMod.get());
+        mod_status = kernelImpl->addModule(pcMod.get());
         pcLib = std::make_unique<perfctr::LibPerfctr>(*pcMod);
+    }
+    // The boot sequence itself is not a fallible user boundary: a
+    // module-registration failure here is a programming error.
+    pca_assert(mod_status.ok());
+
+    if (cfg.faults.enabled()) {
+        injector = std::make_unique<kernel::FaultInjector>(cfg.faults,
+                                                           cfg.seed);
+        kernelImpl->setFaultInjector(injector.get());
+        coreImpl->pmu().setCounterWidth(cfg.faults.counterWidthBits);
+        if (cfg.faults.tornRate > 0) {
+            // Torn read: the two 32-bit halves of the counter come
+            // from different instants, so the value is off by 2^32 —
+            // the classic unsynchronized 64-bit read failure.
+            coreImpl->pmu().setReadTamper(
+                [inj = injector.get()](Count v) {
+                    if (!inj->fire(kernel::FaultKind::TornRead))
+                        return v;
+                    const Count carry = Count{1} << 32;
+                    return v >= carry ? v - carry : v + carry;
+                });
+        }
     }
 
     kernelImpl->buildInto(prog);
@@ -57,7 +80,8 @@ Machine::finalize(Addr user_text_offset)
                /*align=*/1);
     coreImpl->setProgram(&prog);
     coreImpl->setFastForwardEnabled(cfg.fastForward);
-    kernelImpl->attach(*coreImpl);
+    const Status attach_status = kernelImpl->attach(*coreImpl);
+    pca_assert(attach_status.ok());
     if (!cfg.interruptsEnabled)
         coreImpl->setInterruptClient(nullptr);
     finalized = true;
@@ -72,6 +96,12 @@ Machine::reboot(std::uint64_t seed)
     coreImpl->reset();
     coreImpl->setFastForwardEnabled(cfg.fastForward);
     kernelImpl->reset(seed);
+    // Re-seed the injector so runs after reboot(s) replay the same
+    // fault schedule as a fresh boot with seed s (the reboot
+    // equivalence extends to chaos runs). The Pmu width/tamper hooks
+    // survive Core::reset by design — they model hardware, not state.
+    if (injector)
+        injector->reset(seed);
     // Core::reset keeps the program, trap entries, and interrupt
     // client installed by finalize(); only re-apply the
     // interrupts-off override.
@@ -82,10 +112,27 @@ Machine::reboot(std::uint64_t seed)
 cpu::RunResult
 Machine::run(const std::string &entry)
 {
+    return tryRun(entry).value();
+}
+
+StatusOr<cpu::RunResult>
+Machine::tryRun(const std::string &entry)
+{
     pca_assert(finalized);
     PCA_SPC_INC(RunsExecuted);
     const Cycles t0 = coreImpl->cycles();
-    cpu::RunResult res = coreImpl->run(prog.entry(entry));
+    cpu::RunResult res;
+    try {
+        res = coreImpl->run(prog.entry(entry));
+    } catch (const StatusError &e) {
+        // A fallible kernel boundary refused mid-run (bad syscall,
+        // module precondition, injected fault). The machine state is
+        // torn; the caller reboots before reusing it.
+        if (obs::traceEnabled())
+            obs::tracer().instant("run-error:" + e.status().toString(),
+                                  "machine", coreImpl->cycles());
+        return e.status();
+    }
     if (obs::traceEnabled())
         obs::tracer().complete("run:" + entry, "machine", t0,
                                coreImpl->cycles() - t0);

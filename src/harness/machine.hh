@@ -49,6 +49,14 @@ struct MachineConfig
      * apply; drive libPerf() directly.
      */
     bool usePerfEvent = false;
+
+    /**
+     * Fault-injection plan (default: inert). When enabled() the
+     * machine boots a FaultInjector seeded from (faults.seed, seed)
+     * and threads it into the kernel's syscall dispatch, the
+     * interrupt queue, and the PMU read path.
+     */
+    kernel::FaultPlan faults;
 };
 
 /**
@@ -94,6 +102,16 @@ class Machine
     cpu::RunResult run(const std::string &entry = "main");
 
     /**
+     * Like run(), but a StatusError raised on the kernel's fallible
+     * boundaries (syscall dispatch, module preconditions, injected
+     * faults) is returned as a Status instead of propagating.
+     */
+    StatusOr<cpu::RunResult> tryRun(const std::string &entry = "main");
+
+    /** The machine's fault injector (null when the plan is inert). */
+    kernel::FaultInjector *faultInjector() { return injector.get(); }
+
+    /**
      * Re-boot the machine for another run without re-assembling or
      * re-linking: core, kernel, and module state return to the
      * power-on defaults, and the stochastic elements (interrupt
@@ -117,6 +135,7 @@ class Machine
     std::unique_ptr<perfctr::LibPerfctr> pcLib;
     std::unique_ptr<perfmon::LibPfm> pmLib;
     std::unique_ptr<perfevent::LibPerf> peLib;
+    std::unique_ptr<kernel::FaultInjector> injector;
     isa::Program prog;
     int kernelBlocks = 0;
     bool finalized = false;

@@ -59,6 +59,7 @@ toMachineConfig(const HarnessConfig &cfg)
     mc.ioInterrupts = cfg.ioInterrupts;
     mc.preemptProb = cfg.preemptProb;
     mc.fastForward = cfg.fastForward;
+    mc.faults = cfg.faults;
     return mc;
 }
 
@@ -155,25 +156,68 @@ HarnessSession::HarnessSession(const HarnessConfig &cfg,
 Measurement
 HarnessSession::run(std::uint64_t seed)
 {
-    machine.reboot(seed);
-    s0 = CaptureSink{};
-    s1 = CaptureSink{};
-    ++runs;
+    return tryRun(seed).value();
+}
 
-    Measurement m;
-    m.run = machine.run("main");
-    m.c0 = s0.primary();
-    m.c1 = s1.primary();
-    m.tsc0 = s0.tsc;
-    m.tsc1 = s1.tsc;
-    m.c0All = s0.values;
-    m.c1All = s1.values;
-    m.expected = expected;
-    m.attribution = obs::attributeError(s0.attr, s1.attr, m.expected);
-    if (m.attribution.patternOverhead > 0)
-        PCA_SPC_ADD(PatternOverheadInstrs,
-                    static_cast<Count>(m.attribution.patternOverhead));
-    return m;
+StatusOr<Measurement>
+HarnessSession::tryRun(std::uint64_t seed)
+{
+    // Bounded retry-and-discard: a failed attempt's machine state is
+    // discarded wholesale (the next attempt reboots), and only
+    // transient faults earn another attempt. Attempt a > 0 derives
+    // its seed from the run seed and the attempt index, so the retry
+    // schedule is reproducible and two retries never replay the same
+    // interrupt phases.
+    const int max_retries = cfg.faults.maxRetries < 0
+        ? 0
+        : cfg.faults.maxRetries;
+    Status last;
+    for (int a = 0; a <= max_retries; ++a) {
+        const std::uint64_t attempt_seed = a == 0
+            ? seed
+            : mixSeed(seed, 0xb0ffULL + static_cast<std::uint64_t>(a));
+        machine.reboot(attempt_seed);
+        s0 = CaptureSink{};
+        s1 = CaptureSink{};
+        ++runs;
+
+        const Cycles t0 = machine.core().cycles();
+        StatusOr<cpu::RunResult> r = machine.tryRun("main");
+        if (!r.ok()) {
+            last = r.status();
+            if (!last.transient())
+                return last;
+            if (a == max_retries) // budget exhausted; no retry
+                break;
+            PCA_SPC_INC(SessionRetries);
+            if (obs::traceEnabled())
+                obs::tracer().complete(
+                    "retry:" + std::string(
+                                   statusCodeName(last.code())),
+                    "harness", t0, machine.core().cycles() - t0);
+            continue;
+        }
+
+        Measurement m;
+        m.run = *r;
+        m.c0 = s0.primary();
+        m.c1 = s1.primary();
+        m.tsc0 = s0.tsc;
+        m.tsc1 = s1.tsc;
+        m.c0All = s0.values;
+        m.c1All = s1.values;
+        m.expected = expected;
+        m.attribution =
+            obs::attributeError(s0.attr, s1.attr, m.expected);
+        if (m.attribution.patternOverhead > 0)
+            PCA_SPC_ADD(
+                PatternOverheadInstrs,
+                static_cast<Count>(m.attribution.patternOverhead));
+        return m;
+    }
+    return Status(last.code(),
+                  last.message() + " (after " +
+                      std::to_string(max_retries) + " retries)");
 }
 
 ProgramCache::ProgramCache(std::size_t capacity)
@@ -207,6 +251,11 @@ ProgramCache::key(const HarnessConfig &cfg,
     std::snprintf(prob, sizeof prob, "/p%a", cfg.preemptProb);
     k += prob;
     k += cfg.fastForward ? "/ff" : "/noff";
+    // Sessions built under different fault plans simulate different
+    // machines; they must never alias (the seed stays excluded — it
+    // varies per run, not per program).
+    k += '/';
+    k += cfg.faults.fingerprint();
     k += '/';
     k += bench.cacheKey();
     return k;
@@ -238,19 +287,19 @@ ProgramCache::session(const HarnessConfig &cfg,
     return *entries.front().second;
 }
 
-std::vector<Measurement>
+std::vector<StatusOr<Measurement>>
 measurePoint(ProgramCache &cache, const HarnessConfig &cfg,
              const MicroBenchmark &bench, int runs,
              const std::function<std::uint64_t(int)> &seed_for)
 {
     pca_assert(runs >= 1);
-    std::vector<Measurement> out;
+    std::vector<StatusOr<Measurement>> out;
     out.reserve(static_cast<std::size_t>(runs));
     // Look the session up per run, not once per point: the lookup is
     // a hash probe, and it makes the hit/miss counters measure every
     // program reuse (runs 2..n of a point are cache hits).
     for (int r = 0; r < runs; ++r)
-        out.push_back(cache.session(cfg, bench).run(seed_for(r)));
+        out.push_back(cache.session(cfg, bench).tryRun(seed_for(r)));
     return out;
 }
 

@@ -60,9 +60,20 @@ class HarnessSession
     /** Reboot with @p seed and run the measurement once. */
     Measurement run(std::uint64_t seed);
 
+    /**
+     * Like run(), but failures surface as a Status. Transient
+     * failures (Busy, Unavailable — injected EBUSY, flaky reads) are
+     * retried up to config().faults.maxRetries times, each attempt
+     * rebooting with a fresh seed derived from @p seed — nanoBench's
+     * retry-and-discard policy. Retries feed the session_retries SPC;
+     * non-transient failures return immediately. Deterministic: the
+     * outcome is a pure function of (config, benchmark, seed).
+     */
+    StatusOr<Measurement> tryRun(std::uint64_t seed);
+
     const HarnessConfig &config() const { return cfg; }
 
-    /** Number of run() calls so far (diagnostics). */
+    /** Number of run attempts so far, retries included. */
     std::uint64_t runCount() const { return runs; }
 
   private:
@@ -118,9 +129,11 @@ class ProgramCache
  * @p bench at @p cfg through @p cache, reusing one assembled
  * program. seed_for(r) supplies run r's machine seed (studies and
  * bench drivers differ only in that derivation). Results are in run
- * order.
+ * order; a run that still fails after the session's transient-fault
+ * retries occupies its slot as an error Status (with an inert fault
+ * plan every slot is ok()).
  */
-std::vector<Measurement>
+std::vector<StatusOr<Measurement>>
 measurePoint(ProgramCache &cache, const HarnessConfig &cfg,
              const MicroBenchmark &bench, int runs,
              const std::function<std::uint64_t(int)> &seed_for);

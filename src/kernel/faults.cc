@@ -1,0 +1,207 @@
+#include "kernel/faults.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/spc.hh"
+#include "support/logging.hh"
+#include "support/strutil.hh"
+
+namespace pca::kernel
+{
+
+const char *
+faultKindName(FaultKind k)
+{
+    switch (k) {
+      case FaultKind::CounterBusy: return "counter_busy";
+      case FaultKind::DroppedInterrupt: return "dropped_interrupt";
+      case FaultKind::SpuriousInterrupt:
+        return "spurious_interrupt";
+      case FaultKind::AttachFail: return "attach_fail";
+      case FaultKind::ReadFail: return "read_fail";
+      case FaultKind::TornRead: return "torn_read";
+      case FaultKind::NumKinds: break;
+    }
+    return "?";
+}
+
+bool
+FaultPlan::enabled() const
+{
+    return busyRate > 0 || dropRate > 0 || spuriousRate > 0 ||
+           attachRate > 0 || readFailRate > 0 || tornRate > 0 ||
+           counterWidthBits < 64;
+}
+
+double
+FaultPlan::rate(FaultKind k) const
+{
+    switch (k) {
+      case FaultKind::CounterBusy: return busyRate;
+      case FaultKind::DroppedInterrupt: return dropRate;
+      case FaultKind::SpuriousInterrupt: return spuriousRate;
+      case FaultKind::AttachFail: return attachRate;
+      case FaultKind::ReadFail: return readFailRate;
+      case FaultKind::TornRead: return tornRate;
+      case FaultKind::NumKinds: break;
+    }
+    return 0.0;
+}
+
+namespace
+{
+
+double
+parseRate(const std::string &key, const std::string &v)
+{
+    char *end = nullptr;
+    const double r = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0' || r < 0.0 || r > 1.0) {
+        pca_warn("PCA_FAULTS: ", key, ": rate '", v,
+                 "' not in [0,1]; ignored");
+        return 0.0;
+    }
+    return r;
+}
+
+} // namespace
+
+FaultPlan
+FaultPlan::parse(const std::string &spec)
+{
+    FaultPlan plan;
+    for (const std::string &item : split(spec, ',')) {
+        if (item.empty())
+            continue;
+        const auto eq = item.find('=');
+        if (eq == std::string::npos) {
+            pca_warn("PCA_FAULTS: expected key=value, got '", item,
+                     "'");
+            continue;
+        }
+        const std::string key = item.substr(0, eq);
+        const std::string val = item.substr(eq + 1);
+        if (key == "seed") {
+            plan.seed = std::strtoull(val.c_str(), nullptr, 0);
+        } else if (key == "rate") {
+            const double r = parseRate(key, val);
+            plan.busyRate = plan.dropRate = plan.spuriousRate = r;
+            plan.attachRate = plan.readFailRate = plan.tornRate = r;
+        } else if (key == "busy") {
+            plan.busyRate = parseRate(key, val);
+        } else if (key == "drop") {
+            plan.dropRate = parseRate(key, val);
+        } else if (key == "spurious") {
+            plan.spuriousRate = parseRate(key, val);
+        } else if (key == "attach") {
+            plan.attachRate = parseRate(key, val);
+        } else if (key == "read") {
+            plan.readFailRate = parseRate(key, val);
+        } else if (key == "torn") {
+            plan.tornRate = parseRate(key, val);
+        } else if (key == "width") {
+            const long w = std::strtol(val.c_str(), nullptr, 10);
+            if (w < 8 || w > 64)
+                pca_warn("PCA_FAULTS: width '", val,
+                         "' not in [8,64]; ignored");
+            else
+                plan.counterWidthBits = static_cast<int>(w);
+        } else if (key == "retries") {
+            const long r = std::strtol(val.c_str(), nullptr, 10);
+            if (r < 0 || r > 64)
+                pca_warn("PCA_FAULTS: retries '", val,
+                         "' not in [0,64]; ignored");
+            else
+                plan.maxRetries = static_cast<int>(r);
+        } else {
+            pca_warn("PCA_FAULTS: unknown key '", key, "'");
+        }
+    }
+    return plan;
+}
+
+FaultPlan
+FaultPlan::fromEnv()
+{
+    const char *spec = std::getenv("PCA_FAULTS");
+    if (!spec || !*spec)
+        return FaultPlan{};
+    return parse(spec);
+}
+
+std::string
+FaultPlan::fingerprint() const
+{
+    if (!enabled() && maxRetries == 3 && seed == 0)
+        return "f-none";
+    // %a: exact bit patterns, so nearby rates never alias.
+    char buf[256];
+    std::snprintf(buf, sizeof buf,
+                  "fb%a,d%a,s%a,a%a,r%a,t%a,w%d,n%d,x%llu", busyRate,
+                  dropRate, spuriousRate, attachRate, readFailRate,
+                  tornRate, counterWidthBits, maxRetries,
+                  static_cast<unsigned long long>(seed));
+    return buf;
+}
+
+namespace
+{
+
+std::uint64_t
+streamSeed(const FaultPlan &plan, std::uint64_t machine_seed,
+           std::size_t kind)
+{
+    return mixSeed(mixSeed(plan.seed, machine_seed),
+                   0xfa017ULL + kind);
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultPlan &plan,
+                             std::uint64_t machine_seed)
+    : planVal(plan)
+{
+    reset(machine_seed);
+}
+
+void
+FaultInjector::reset(std::uint64_t machine_seed)
+{
+    for (std::size_t k = 0; k < numFaultKinds; ++k)
+        streams[k] = Rng(streamSeed(planVal, machine_seed, k));
+    counts.fill(0);
+}
+
+bool
+FaultInjector::fire(FaultKind k)
+{
+    const auto i = static_cast<std::size_t>(k);
+    const double rate = planVal.rate(k);
+    // Rate zero never draws: kinds that are off cannot perturb the
+    // decision streams of kinds that are on.
+    if (rate <= 0.0)
+        return false;
+    if (!streams[i].nextBool(rate))
+        return false;
+    ++counts[i];
+    PCA_SPC_INC(FaultsInjected);
+    return true;
+}
+
+Count
+FaultInjector::injected(FaultKind k) const
+{
+    return counts[static_cast<std::size_t>(k)];
+}
+
+Count
+FaultInjector::totalInjected() const
+{
+    Count total = 0;
+    for (Count c : counts)
+        total += c;
+    return total;
+}
+
+} // namespace pca::kernel

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Deterministic fault injection for the counter infrastructure.
+ *
+ * The simulator reproduces the paper's *systematic* measurement
+ * errors; real infrastructures additionally exhibit outright failure
+ * modes — transient EBUSY on counter allocation, counters wrapping at
+ * their hardware width, lost or spurious timer interrupts, module
+ * attach/read failures, torn reads — which BayesPerf models as noisy
+ * sensors and nanoBench guards against with retry-and-discard run
+ * policies. A FaultPlan names the rates of those faults; a
+ * FaultInjector, seeded from (plan seed, machine seed), decides
+ * deterministically at each fault site whether the fault fires. With
+ * an inert plan (all rates zero, full counter width) nothing is ever
+ * injected and every code path is bit-for-bit the pre-fault one.
+ */
+
+#ifndef PCA_KERNEL_FAULTS_HH
+#define PCA_KERNEL_FAULTS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "support/random.hh"
+#include "support/types.hh"
+
+namespace pca::kernel
+{
+
+/** The failure modes the injector can produce. */
+enum class FaultKind : std::uint8_t
+{
+    CounterBusy,      //!< EBUSY from counter allocation (transient)
+    DroppedInterrupt, //!< scheduled timer tick silently lost
+    SpuriousInterrupt,//!< extra, unscheduled timer tick delivered
+    AttachFail,       //!< module open/attach syscall fails
+    ReadFail,         //!< module counter-read syscall fails
+    TornRead,         //!< counter read torn across halves (silent)
+    NumKinds,
+};
+
+constexpr std::size_t numFaultKinds =
+    static_cast<std::size_t>(FaultKind::NumKinds);
+
+/** Canonical fault name ("counter_busy", ...). */
+const char *faultKindName(FaultKind k);
+
+/**
+ * Configuration of the injector: per-kind fault probabilities, the
+ * counter width (wraparound), the retry budget the harness session
+ * may spend on transient faults, and the plan seed that makes every
+ * injection decision reproducible. Defaults are fully inert.
+ */
+struct FaultPlan
+{
+    double busyRate = 0.0;     //!< CounterBusy per allocation syscall
+    double dropRate = 0.0;     //!< DroppedInterrupt per timer tick
+    double spuriousRate = 0.0; //!< SpuriousInterrupt per timer tick
+    double attachRate = 0.0;   //!< AttachFail per open syscall
+    double readFailRate = 0.0; //!< ReadFail per read syscall
+    double tornRate = 0.0;     //!< TornRead per counter read
+
+    /**
+     * Bits of the programmable counters; values wrap modulo
+     * 2^width on read. 64 (the default) means no wrap — real PMCs
+     * are 40- or 48-bit (§2.2), so width=40 reproduces hardware
+     * wraparound on long measurements.
+     */
+    int counterWidthBits = 64;
+
+    /**
+     * Transient-fault retries a HarnessSession may spend per run
+     * (attempts = 1 + maxRetries, nanoBench's retry-and-discard).
+     */
+    int maxRetries = 3;
+
+    /** Stream seed; mixed with the machine seed per boot/reboot. */
+    std::uint64_t seed = 0;
+
+    /** Any fault possible? (Inert plans skip all injection work.) */
+    bool enabled() const;
+
+    double rate(FaultKind k) const;
+
+    /**
+     * Parse a "key=value,key=value" spec. Keys: seed, rate (sets all
+     * six fault rates at once), busy, drop, spurious, attach, read,
+     * torn, width, retries. Unknown keys warn and are skipped; an
+     * empty spec is the inert plan.
+     */
+    static FaultPlan parse(const std::string &spec);
+
+    /** parse(getenv("PCA_FAULTS")); inert when unset/empty. */
+    static FaultPlan fromEnv();
+
+    /**
+     * Stable identity string covering every field that can change
+     * simulated behavior — a ProgramCache key component, so sessions
+     * built under different plans never alias.
+     */
+    std::string fingerprint() const;
+};
+
+/**
+ * Draws fault decisions for one machine. Each FaultKind has its own
+ * RNG stream (seeded from the plan seed, the machine seed, and the
+ * kind), so firing one kind of fault never perturbs the decision
+ * sequence of another. reset(machine_seed) restores the exact
+ * power-on decision stream for that seed — Machine::reboot's
+ * result-identity contract extends to fault injection.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultPlan &plan, std::uint64_t machine_seed);
+
+    /** Reseed all streams and zero the counts (machine reboot). */
+    void reset(std::uint64_t machine_seed);
+
+    /**
+     * Should the fault fire at this site? Draws from the kind's
+     * stream (unless its rate is zero, which never draws), counts
+     * the injection, and feeds the faults_injected SPC.
+     */
+    bool fire(FaultKind k);
+
+    /** Injections of @p k since the last reset. */
+    Count injected(FaultKind k) const;
+
+    /** All injections since the last reset. */
+    Count totalInjected() const;
+
+    const FaultPlan &plan() const { return planVal; }
+
+  private:
+    FaultPlan planVal;
+    std::array<Rng, numFaultKinds> streams;
+    std::array<Count, numFaultKinds> counts{};
+};
+
+} // namespace pca::kernel
+
+#endif // PCA_KERNEL_FAULTS_HH

@@ -19,8 +19,11 @@ InterruptController::reset(std::uint64_t seed)
     rng = Rng(seed);
     timerCount = 0;
     ioCount = 0;
+    droppedCount = 0;
+    spuriousCount = 0;
     nextTimer = never;
     nextIo = never;
+    nextSpurious = never;
     if (timerPeriod > 0) {
         // Random phase: measurements start anywhere in a tick period.
         nextTimer = rng.nextBelow(timerPeriod) + 1;
@@ -35,18 +38,47 @@ InterruptController::reset(std::uint64_t seed)
 Cycles
 InterruptController::nextInterruptCycle() const
 {
-    return std::min(nextTimer, nextIo);
+    return std::min({nextTimer, nextIo, nextSpurious});
+}
+
+void
+InterruptController::maybeScheduleSpurious(Cycles now)
+{
+    if (!faults || timerPeriod == 0 ||
+        !faults->fire(FaultKind::SpuriousInterrupt))
+        return;
+    // An unscheduled extra tick lands partway into the next period;
+    // the phase draws from the injector-independent RNG would shift
+    // the legitimate schedule, so use a fixed fraction.
+    nextSpurious = now + timerPeriod / 3 + 1;
 }
 
 int
 InterruptController::pollInterrupt(Cycles now)
 {
+    if (nextSpurious <= now && nextSpurious <= nextTimer &&
+        nextSpurious <= nextIo) {
+        // Spurious tick: the kernel services a timer interrupt that
+        // was never scheduled (extra handler work, extra phase).
+        nextSpurious = never;
+        ++spuriousCount;
+        ++timerCount;
+        return VecTimer;
+    }
     if (nextTimer <= now && nextTimer <= nextIo) {
         // One tick per delivery; skip ticks lost to long kernel
         // sections (the real kernel's lost-tick accounting).
         while (nextTimer <= now)
             nextTimer += timerPeriod;
+        if (faults && faults->fire(FaultKind::DroppedInterrupt)) {
+            // Lost interrupt: the tick never reaches the kernel, so
+            // neither its handler work nor its per-tick module
+            // bookkeeping (e.g. multiplex rotation) happens.
+            ++droppedCount;
+            return -1;
+        }
         ++timerCount;
+        maybeScheduleSpurious(now);
         return VecTimer;
     }
     if (nextIo <= now) {

@@ -10,6 +10,7 @@
 #define PCA_KERNEL_INTERRUPTS_HH
 
 #include "cpu/core.hh"
+#include "kernel/faults.hh"
 #include "support/random.hh"
 #include "support/types.hh"
 
@@ -58,16 +59,36 @@ class InterruptController : public cpu::InterruptClient
     Count timerDelivered() const { return timerCount; }
     Count ioDelivered() const { return ioCount; }
 
+    /**
+     * Let @p injector drop scheduled ticks (lost interrupts) or
+     * insert unscheduled ones (spurious interrupts). Null disables
+     * injection. The injector outlives the controller (both owned by
+     * the Machine).
+     */
+    void setFaultInjector(FaultInjector *injector)
+    {
+        faults = injector;
+    }
+
+    Count droppedTicks() const { return droppedCount; }
+    Count spuriousTicks() const { return spuriousCount; }
+
   private:
     static constexpr Cycles never = ~Cycles{0};
+
+    void maybeScheduleSpurious(Cycles now);
 
     Rng rng;
     Cycles timerPeriod;
     Cycles ioMeanInterval;
     Cycles nextTimer = never;
     Cycles nextIo = never;
+    Cycles nextSpurious = never;
     Count timerCount = 0;
     Count ioCount = 0;
+    Count droppedCount = 0;
+    Count spuriousCount = 0;
+    FaultInjector *faults = nullptr;
 };
 
 } // namespace pca::kernel

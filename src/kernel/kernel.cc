@@ -1,6 +1,7 @@
 #include "kernel/kernel.hh"
 
 #include "isa/assembler.hh"
+#include "kernel/perfevent_mod.hh"
 #include "obs/spc.hh"
 #include "obs/trace.hh"
 #include "support/logging.hh"
@@ -34,12 +35,23 @@ Kernel::Kernel(const cpu::MicroArch &arch, std::uint64_t seed,
 {
 }
 
-void
+Status
 Kernel::addModule(KernelModule *mod)
 {
-    pca_assert(!built);
-    pca_assert(mod != nullptr);
+    if (mod == nullptr)
+        return Status(StatusCode::InvalidArgument, "null kernel module");
+    if (built)
+        return Status(StatusCode::FailedPrecondition,
+                      "addModule after buildInto");
     modules.push_back(mod);
+    return OkStatus();
+}
+
+void
+Kernel::setFaultInjector(FaultInjector *injector)
+{
+    faults = injector;
+    intCtrl.setFaultInjector(injector);
 }
 
 void
@@ -56,7 +68,34 @@ Kernel::dispatchSyscall(CpuContext &ctx)
     const auto nr = static_cast<int>(ctx.getReg(Reg::Eax));
     auto it = syscallTable.find(nr);
     if (it == syscallTable.end())
-        pca_panic("unknown syscall ", nr);
+        throw StatusError(Status(StatusCode::InvalidArgument,
+                                 "unknown syscall " +
+                                     std::to_string(nr)));
+    if (faults) {
+        // Central fault site: the dispatcher models the failure modes
+        // a real counter syscall can hit, keyed by what the call does
+        // rather than which API it belongs to.
+        const bool is_open = nr == sysno::vperfctrOpen ||
+                             nr == sysno::pfmCreate ||
+                             nr == sysno_pe::perfEventOpen;
+        const bool is_alloc = nr == sysno::vperfctrControl ||
+                              nr == sysno::pfmWritePmcs;
+        const bool is_read = nr == sysno::vperfctrRead ||
+                             nr == sysno::pfmReadPmds ||
+                             nr == sysno::pfmReadMpx ||
+                             nr == sysno_pe::readFd;
+        if (is_open && faults->fire(FaultKind::AttachFail))
+            throw StatusError(Status(StatusCode::Unavailable,
+                                     "injected: attach failed (" +
+                                         it->second + ")"));
+        if (is_alloc && faults->fire(FaultKind::CounterBusy))
+            throw StatusError(Status(StatusCode::Busy,
+                                     "injected: counters busy "
+                                     "(EBUSY)"));
+        if (is_read && faults->fire(FaultKind::ReadFail))
+            throw StatusError(Status(StatusCode::Unavailable,
+                                     "injected: counter read failed"));
+    }
     ctx.jumpTo(it->second);
 }
 
@@ -237,14 +276,20 @@ Kernel::reset(std::uint64_t seed)
         m->reset();
 }
 
-void
+Status
 Kernel::attach(cpu::Core &core)
 {
-    pca_assert(built && builtProgram && builtProgram->linked());
+    if (!built || !builtProgram)
+        return Status(StatusCode::FailedPrecondition,
+                      "attach before buildInto");
+    if (!builtProgram->linked())
+        return Status(StatusCode::FailedPrecondition,
+                      "attach before program link");
     attachedCore = &core;
     core.setSyscallEntry(builtProgram->entry("k_syscall_entry"));
     core.setInterruptEntry(builtProgram->entry("k_int_entry"));
     core.setInterruptClient(&intCtrl);
+    return OkStatus();
 }
 
 } // namespace pca::kernel

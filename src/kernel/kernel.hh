@@ -16,9 +16,11 @@
 #include "cpu/core.hh"
 #include "isa/program.hh"
 #include "kernel/costs.hh"
+#include "kernel/faults.hh"
 #include "kernel/interrupts.hh"
 #include "kernel/module.hh"
 #include "support/random.hh"
+#include "support/status.hh"
 
 namespace pca::kernel
 {
@@ -67,14 +69,22 @@ class Kernel
     Kernel(const cpu::MicroArch &arch, std::uint64_t seed,
            bool enable_io_interrupts = true);
 
-    /** Register a kernel extension (before buildInto). */
-    void addModule(KernelModule *mod);
+    /**
+     * Register a kernel extension (before buildInto). Fails with
+     * InvalidArgument for a null module and FailedPrecondition once
+     * the kernel has built its blocks.
+     */
+    Status addModule(KernelModule *mod);
 
     /** Emit kernel code blocks into @p prog (before linking). */
     void buildInto(isa::Program &prog);
 
-    /** Install trap entries + interrupt client (after linking). */
-    void attach(cpu::Core &core);
+    /**
+     * Install trap entries + interrupt client. Fails with
+     * FailedPrecondition unless buildInto() ran and the program is
+     * linked.
+     */
+    Status attach(cpu::Core &core);
 
     /**
      * Return the kernel and its loaded modules to the freshly booted
@@ -100,6 +110,14 @@ class Kernel
     /** Number of context switches the measured thread suffered. */
     Count contextSwitches() const { return ctxswCount; }
 
+    /**
+     * Thread the fault injector into the syscall dispatch path (EBUSY
+     * on allocation, attach/read failures) and the interrupt queue
+     * (dropped/spurious ticks). Null disables injection; the injector
+     * is owned by the Machine and outlives the kernel.
+     */
+    void setFaultInjector(FaultInjector *injector);
+
   private:
     void dispatchSyscall(isa::CpuContext &ctx);
     void dispatchInterrupt(isa::CpuContext &ctx);
@@ -115,6 +133,7 @@ class Kernel
     std::map<int, std::string> syscallTable;
     cpu::Core *attachedCore = nullptr;
     isa::Program *builtProgram = nullptr;
+    FaultInjector *faults = nullptr;
     double preemptProb = 0.015;
     Count ctxswCount = 0;
     bool built = false;

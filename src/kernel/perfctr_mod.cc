@@ -3,6 +3,7 @@
 #include "cpu/pmu.hh"
 #include "isa/assembler.hh"
 #include "support/logging.hh"
+#include "support/status.hh"
 
 namespace pca::kernel
 {
@@ -56,7 +57,10 @@ PerfctrModule::buildBlocks(isa::Program &prog, Kernel &kernel)
         Assembler a("pc_sys_control");
         a.work(scaled(kc->pcControlPre));
         a.host([this](CpuContext &ctx) {
-            pca_assert(!pendingControl.events.empty());
+            if (pendingControl.events.empty())
+                throw StatusError(
+                    Status(StatusCode::InvalidArgument,
+                           "vperfctr control: no events"));
             control = pendingControl;
             readBuf.assign(control.events.size(), 0);
             ctx.setReg(Reg::Edx, control.events.size());

@@ -3,6 +3,7 @@
 #include "cpu/pmu.hh"
 #include "isa/assembler.hh"
 #include "support/logging.hh"
+#include "support/status.hh"
 
 namespace pca::kernel
 {
@@ -45,7 +46,9 @@ PerfEventModule::buildBlocks(isa::Program &prog, Kernel &kernel)
         a.host([this](CpuContext &ctx) {
             const int idx = static_cast<int>(fds.size());
             if (idx >= archRef.progCounters)
-                pca_panic("perf_event_open: out of counters");
+                throw StatusError(
+                    Status(StatusCode::ResourceExhausted,
+                           "perf_event_open: out of counters"));
             PerfEventFd f;
             f.event = pendingEvent;
             f.pl = pendingPl;
@@ -130,8 +133,11 @@ PerfEventModule::buildBlocks(isa::Program &prog, Kernel &kernel)
         Assembler a("pe_sys_read");
         a.work(scaled(210)); // vfs path + perf_read
         a.host([this](CpuContext &ctx) {
-            pca_assert(argFd >= 0 &&
-                       argFd < static_cast<int>(fds.size()));
+            if (argFd < 0 || argFd >= static_cast<int>(fds.size()))
+                throw StatusError(
+                    Status(StatusCode::InvalidArgument,
+                           "read: bad perf_event fd " +
+                               std::to_string(argFd)));
             readValue = coreOf(ctx).pmu().rdpmc(
                 static_cast<std::uint64_t>(
                     fds[static_cast<std::size_t>(argFd)].counter));

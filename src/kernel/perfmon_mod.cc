@@ -3,6 +3,7 @@
 #include "cpu/pmu.hh"
 #include "isa/assembler.hh"
 #include "support/logging.hh"
+#include "support/status.hh"
 
 namespace pca::kernel
 {
@@ -53,8 +54,14 @@ PerfmonModule::buildBlocks(isa::Program &prog, Kernel &kernel)
         Assembler a("pm_sys_write_pmcs");
         a.work(scaled(kc->pmWritePmcsWork));
         a.host([this](CpuContext &ctx) {
-            pca_assert(loaded);
-            pca_assert(!pendingConfig.events.empty());
+            if (!loaded)
+                throw StatusError(
+                    Status(StatusCode::FailedPrecondition,
+                           "perfmon: context not loaded"));
+            if (pendingConfig.events.empty())
+                throw StatusError(
+                    Status(StatusCode::InvalidArgument,
+                           "pfm_write_pmcs: no events"));
             config = pendingConfig;
             readBuf.assign(config.events.size(), 0);
             ctx.setReg(Reg::Edx, 0);
@@ -82,7 +89,10 @@ PerfmonModule::buildBlocks(isa::Program &prog, Kernel &kernel)
         Assembler a("pm_sys_write_pmds");
         a.work(scaled(kc->pmWritePmdsWork));
         a.host([this](CpuContext &ctx) {
-            pca_assert(loaded);
+            if (!loaded)
+                throw StatusError(
+                    Status(StatusCode::FailedPrecondition,
+                           "perfmon: context not loaded"));
             ctx.setReg(Reg::Edx, 0);
             ctx.setReg(Reg::Esi, config.events.size());
         });
@@ -108,7 +118,10 @@ PerfmonModule::buildBlocks(isa::Program &prog, Kernel &kernel)
         Assembler a("pm_sys_start");
         a.work(scaled(kc->pmStartPre));
         a.host([this](CpuContext &ctx) {
-            pca_assert(loaded);
+            if (!loaded)
+                throw StatusError(
+                    Status(StatusCode::FailedPrecondition,
+                           "perfmon: context not loaded"));
             ctx.setReg(Reg::Edx, 0);
             ctx.setReg(Reg::Esi, config.events.size());
         });
@@ -170,7 +183,10 @@ PerfmonModule::buildBlocks(isa::Program &prog, Kernel &kernel)
         Assembler a("pm_sys_read_pmds");
         a.work(scaled(kc->pmReadPre));
         a.host([this](CpuContext &ctx) {
-            pca_assert(loaded);
+            if (!loaded)
+                throw StatusError(
+                    Status(StatusCode::FailedPrecondition,
+                           "perfmon: context not loaded"));
             ctx.setReg(Reg::Edx, 0);
             ctx.setReg(Reg::Esi, config.events.size());
         });
@@ -193,12 +209,20 @@ PerfmonModule::buildBlocks(isa::Program &prog, Kernel &kernel)
         Assembler a("pm_sys_create_evtsets");
         a.work(scaled(600));
         a.host([this](CpuContext &ctx) {
-            pca_assert(loaded);
-            pca_assert(!pendingMpx.groups.empty());
+            if (!loaded)
+                throw StatusError(
+                    Status(StatusCode::FailedPrecondition,
+                           "perfmon: context not loaded"));
+            if (pendingMpx.groups.empty())
+                throw StatusError(
+                    Status(StatusCode::InvalidArgument,
+                           "pfm_create_evtsets: no groups"));
             for (const auto &g : pendingMpx.groups) {
-                pca_assert(!g.empty());
-                pca_assert(static_cast<int>(g.size()) <=
-                           archRef.progCounters);
+                if (g.empty() || static_cast<int>(g.size()) >
+                        archRef.progCounters)
+                    throw StatusError(Status(
+                        StatusCode::InvalidArgument,
+                        "pfm_create_evtsets: bad group size"));
             }
             mpx = pendingMpx;
             mpxOn = true;
@@ -221,7 +245,10 @@ PerfmonModule::buildBlocks(isa::Program &prog, Kernel &kernel)
         Assembler a("pm_sys_start_mpx");
         a.work(scaled(300));
         a.host([this](CpuContext &ctx) {
-            pca_assert(mpxOn);
+            if (!mpxOn)
+                throw StatusError(
+                    Status(StatusCode::FailedPrecondition,
+                           "pfm_start: no event sets"));
             programGroup(coreOf(ctx), mpxCurGroup, true);
             mpxRunning = true;
             ctx.jumpTo("k_sysexit");
@@ -234,7 +261,10 @@ PerfmonModule::buildBlocks(isa::Program &prog, Kernel &kernel)
         Assembler a("pm_sys_stop_mpx");
         a.work(scaled(250));
         a.host([this](CpuContext &ctx) {
-            pca_assert(mpxOn);
+            if (!mpxOn)
+                throw StatusError(
+                    Status(StatusCode::FailedPrecondition,
+                           "pfm_stop: no event sets"));
             cpu::Core &core = coreOf(ctx);
             // Bank the current group's counts before stopping.
             const auto &g = mpx.groups[static_cast<std::size_t>(
@@ -262,7 +292,10 @@ PerfmonModule::buildBlocks(isa::Program &prog, Kernel &kernel)
         Assembler a("pm_sys_read_mpx");
         a.work(scaled(220));
         a.host([this](CpuContext &ctx) {
-            pca_assert(mpxOn);
+            if (!mpxOn)
+                throw StatusError(
+                    Status(StatusCode::FailedPrecondition,
+                           "pfm_read: no event sets"));
             cpu::Core &core = coreOf(ctx);
             mpxReadBuf.clear();
             for (std::size_t g = 0; g < mpx.groups.size(); ++g) {
@@ -308,8 +341,14 @@ PerfmonModule::buildBlocks(isa::Program &prog, Kernel &kernel)
         Assembler a("pm_sys_set_smpl");
         a.work(scaled(520)); // sampling buffer setup + remap
         a.host([this](CpuContext &ctx) {
-            pca_assert(loaded);
-            pca_assert(pendingSampling.period >= 100);
+            if (!loaded)
+                throw StatusError(
+                    Status(StatusCode::FailedPrecondition,
+                           "perfmon: context not loaded"));
+            if (pendingSampling.period < 100)
+                throw StatusError(
+                    Status(StatusCode::InvalidArgument,
+                           "pfm_set_smpl: period too small"));
             smpl = pendingSampling;
             samplingOn = true;
             sampleBuf.clear();

@@ -36,6 +36,9 @@ spcName(Spc c)
       case Spc::MachineReboots: return "machine_reboots";
       case Spc::ProgramCacheHits: return "program_cache_hits";
       case Spc::ProgramCacheMisses: return "program_cache_misses";
+      case Spc::FaultsInjected: return "faults_injected";
+      case Spc::SessionRetries: return "session_retries";
+      case Spc::DegradedPoints: return "degraded_points";
       case Spc::NumSpcs: break;
     }
     return "?";

@@ -43,6 +43,9 @@ enum class Spc : std::uint8_t
     MachineReboots,     //!< session reuses (reboot without re-assembly)
     ProgramCacheHits,   //!< assembled-program cache hits
     ProgramCacheMisses, //!< assembled-program cache misses (builds)
+    FaultsInjected,     //!< faults the FaultInjector fired
+    SessionRetries,     //!< transient-fault retries spent by sessions
+    DegradedPoints,     //!< study rows recorded as degraded
     NumSpcs,
 };
 

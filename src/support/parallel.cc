@@ -54,6 +54,7 @@ parallelFor(std::size_t n,
     std::atomic<std::size_t> cursor{0};
     std::atomic<bool> failed{false};
     std::exception_ptr first_error;
+    std::size_t error_index = n;
     std::mutex error_mu;
 
     auto work = [&](int worker) {
@@ -65,9 +66,15 @@ parallelFor(std::size_t n,
             try {
                 fn(i, worker);
             } catch (...) {
+                // Keep the error of the lowest-index item: indices
+                // are claimed in ascending order, so the lowest
+                // throwing index always runs, making the rethrown
+                // exception independent of worker timing.
                 const std::lock_guard<std::mutex> lock(error_mu);
-                if (!first_error)
+                if (i < error_index) {
+                    error_index = i;
                     first_error = std::current_exception();
+                }
                 failed.store(true, std::memory_order_relaxed);
                 return;
             }

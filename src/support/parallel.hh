@@ -44,9 +44,12 @@ int defaultThreadCount();
  * Indices are claimed in ascending order but may complete out of
  * order; any fn() may run concurrently with any other.
  *
- * If fn throws, the first exception (in claim order) is captured,
- * remaining unclaimed indices are abandoned, all workers are
- * joined, and the exception is rethrown on the calling thread.
+ * If fn throws, the exception of the lowest-index failing item is
+ * captured (deterministic: that index is always claimed and run
+ * before abandonment kicks in), remaining unclaimed indices are
+ * abandoned, all workers are joined, and the exception is rethrown
+ * on the calling thread — a worker failure can never terminate the
+ * process via an unhandled exception on a worker thread.
  */
 void parallelFor(std::size_t n,
                  const std::function<void(std::size_t, int)> &fn,

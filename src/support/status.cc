@@ -1,0 +1,37 @@
+#include "support/status.hh"
+
+namespace pca
+{
+
+const char *
+statusCodeName(StatusCode code)
+{
+    switch (code) {
+      case StatusCode::Ok: return "ok";
+      case StatusCode::InvalidArgument: return "invalid_argument";
+      case StatusCode::FailedPrecondition:
+        return "failed_precondition";
+      case StatusCode::NotFound: return "not_found";
+      case StatusCode::Busy: return "busy";
+      case StatusCode::Unavailable: return "unavailable";
+      case StatusCode::ResourceExhausted: return "resource_exhausted";
+      case StatusCode::DataLoss: return "data_loss";
+      case StatusCode::Internal: return "internal";
+    }
+    return "?";
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    std::string out = statusCodeName(codeVal);
+    if (!msg.empty()) {
+        out += ": ";
+        out += msg;
+    }
+    return out;
+}
+
+} // namespace pca

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Typed error channel for fallible API boundaries: pca::Status and
+ * pca::StatusOr<T>, following the abseil status idiom. Real counter
+ * infrastructures fail in well-known ways — perf_event_open returns
+ * EBUSY, a module is not loaded, a read is torn — and callers are
+ * expected to retry, degrade, or report, not abort. pca_panic stays
+ * reserved for internal invariants (simulator bugs); everything a
+ * user configuration or an injected fault can reach returns (or
+ * throws, across interpreter frames) a Status instead.
+ */
+
+#ifndef PCA_SUPPORT_STATUS_HH
+#define PCA_SUPPORT_STATUS_HH
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pca
+{
+
+/** Error taxonomy, loosely after absl::StatusCode + errno. */
+enum class StatusCode : std::uint8_t
+{
+    Ok = 0,
+    InvalidArgument,    //!< caller passed something unusable
+    FailedPrecondition, //!< call out of order (open before attach...)
+    NotFound,           //!< named thing does not exist
+    Busy,               //!< EBUSY: resource transiently taken
+    Unavailable,        //!< transient infrastructure failure
+    ResourceExhausted,  //!< out of counters / capacity
+    DataLoss,           //!< value known corrupted (torn read)
+    Internal,           //!< should not happen; report a bug
+};
+
+/** Canonical lower-case code name ("busy", "data_loss", ...). */
+const char *statusCodeName(StatusCode code);
+
+/** Success-or-error result of a fallible call. */
+class Status
+{
+  public:
+    /** OK status. */
+    Status() = default;
+
+    Status(StatusCode code, std::string message)
+        : codeVal(code), msg(std::move(message))
+    {
+    }
+
+    bool ok() const { return codeVal == StatusCode::Ok; }
+    StatusCode code() const { return codeVal; }
+    const std::string &message() const { return msg; }
+
+    /**
+     * Would retrying the operation plausibly succeed? Busy and
+     * Unavailable model transient infrastructure faults (EBUSY on
+     * allocation, a flaky module read); everything else is
+     * deterministic and retrying is wasted work.
+     */
+    bool transient() const
+    {
+        return codeVal == StatusCode::Busy ||
+               codeVal == StatusCode::Unavailable;
+    }
+
+    /** "busy: counter allocation returned EBUSY" (or "ok"). */
+    std::string toString() const;
+
+  private:
+    StatusCode codeVal = StatusCode::Ok;
+    std::string msg;
+};
+
+/** The OK status (absl spelling, reads better than Status()). */
+inline Status
+OkStatus()
+{
+    return Status();
+}
+
+/**
+ * Exception carrying a Status across frames that cannot return one —
+ * primarily host-op callbacks inside the interpreter, which unwind
+ * through Core::run to Machine::tryRun where the status is recovered.
+ */
+class StatusError : public std::runtime_error
+{
+  public:
+    explicit StatusError(Status status)
+        : std::runtime_error(status.toString()), st(std::move(status))
+    {
+    }
+
+    const Status &status() const { return st; }
+
+  private:
+    Status st;
+};
+
+/**
+ * A T or the Status explaining its absence. value() on an error
+ * throws StatusError, so callers that cannot handle failure fail
+ * loudly instead of reading garbage.
+ */
+template <typename T>
+class StatusOr
+{
+  public:
+    StatusOr(T value) : val(std::move(value)) {}
+
+    StatusOr(Status status) : st(std::move(status))
+    {
+        if (st.ok())
+            st = Status(StatusCode::Internal,
+                        "StatusOr constructed from OK status");
+    }
+
+    bool ok() const { return val.has_value(); }
+
+    /** OK when a value is present, the error otherwise. */
+    const Status &status() const { return st; }
+
+    const T &
+    value() const
+    {
+        if (!ok())
+            throw StatusError(st);
+        return *val;
+    }
+
+    T &
+    value()
+    {
+        if (!ok())
+            throw StatusError(st);
+        return *val;
+    }
+
+    const T &operator*() const { return value(); }
+    T &operator*() { return value(); }
+    const T *operator->() const { return &value(); }
+    T *operator->() { return &value(); }
+
+  private:
+    Status st;
+    std::optional<T> val;
+};
+
+} // namespace pca
+
+#endif // PCA_SUPPORT_STATUS_HH

@@ -101,14 +101,18 @@ TEST(KernelTest, GetpidSyscallRoundTrips)
     EXPECT_EQ(r.userInstr, 3u);
 }
 
-TEST(KernelTest, UnknownSyscallPanics)
+TEST(KernelTest, UnknownSyscallReturnsInvalidArgument)
 {
     Machine m(quietConfig());
     Assembler a("main");
     a.movImm(Reg::Eax, 9999).syscall().halt();
     m.addUserBlock(a.take());
     m.finalize();
-    EXPECT_THROW(m.run(), std::logic_error);
+    const auto r = m.tryRun();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), pca::StatusCode::InvalidArgument);
+    // run() surfaces the same failure as a typed exception.
+    EXPECT_THROW(m.run(), pca::StatusError);
 }
 
 TEST(KernelTest, KernelCostScalesWithArch)

@@ -211,10 +211,13 @@ TEST(Multiplex, CreateEvtsetsRequiresContext)
     a.halt();
     m.addUserBlock(a.take());
     m.finalize();
-    EXPECT_THROW(m.run(), std::logic_error);
+    const auto r = m.tryRun();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(),
+              pca::StatusCode::FailedPrecondition);
 }
 
-TEST(Multiplex, OversizedGroupPanics)
+TEST(Multiplex, OversizedGroupIsInvalidArgument)
 {
     Machine m(machineConfig(false));
     LibPfm lib(*m.perfmonModule());
@@ -231,7 +234,9 @@ TEST(Multiplex, OversizedGroupPanics)
     a.halt();
     m.addUserBlock(a.take());
     m.finalize();
-    EXPECT_THROW(m.run(), std::logic_error);
+    const auto r = m.tryRun();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), pca::StatusCode::InvalidArgument);
 }
 
 } // namespace

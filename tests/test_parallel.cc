@@ -19,6 +19,8 @@
 #include "core/factor_space.hh"
 #include "core/study.hh"
 #include "harness/session.hh"
+#include "isa/assembler.hh"
+#include "kernel/faults.hh"
 #include "support/parallel.hh"
 #include "support/random.hh"
 
@@ -116,6 +118,45 @@ TEST(ParallelFor, ExceptionPropagatesInline)
         std::runtime_error);
 }
 
+TEST(ParallelFor, WorkerThrowKeepsLowestIndexError)
+{
+    // Two items fail; the rethrown exception must always be the
+    // lower index's, regardless of which worker threw first.
+    for (int round = 0; round < 8; ++round) {
+        try {
+            parallelFor(
+                100,
+                [](std::size_t i, int) {
+                    if (i == 13)
+                        throw std::runtime_error("boom13");
+                    if (i == 77)
+                        throw std::runtime_error("boom77");
+                },
+                4);
+            FAIL() << "parallelFor swallowed the worker exception";
+        } catch (const std::runtime_error &e) {
+            EXPECT_STREQ(e.what(), "boom13");
+        }
+    }
+}
+
+TEST(ParallelFor, EnvThreadsWorkerThrowDoesNotTerminate)
+{
+    // Regression: with PCA_THREADS=4 a throwing body used to be an
+    // unhandled exception on a worker thread (std::terminate). It
+    // must surface on the calling thread instead.
+    setenv("PCA_THREADS", "4", 1);
+    EXPECT_THROW(parallelFor(
+                     64,
+                     [](std::size_t i, int) {
+                         if (i == 20)
+                             throw std::runtime_error("boom");
+                     },
+                     0),
+                 std::runtime_error);
+    unsetenv("PCA_THREADS");
+}
+
 TEST(ParallelThreads, EnvControlsDefaultCount)
 {
     setenv("PCA_THREADS", "3", 1);
@@ -206,6 +247,90 @@ TEST(SessionEquivalence, CoversModesAndCounterSets)
         expectSameMeasurement(
             sess.run(1234), MeasurementHarness(cfg).measure(bench));
     }
+}
+
+/**
+ * Machine::reboot's identity contract under adverse state: after
+ * fault-heavy runs that leave pending interrupts and a consumed
+ * fault-decision stream behind, reboot(s) + run must still equal a
+ * freshly constructed machine booted at seed s.
+ */
+TEST(SessionEquivalence, RebootUnderAdverseFaultStateMatchesFreshBoot)
+{
+    MachineConfig cfg;
+    cfg.processor = cpu::Processor::AthlonX2;
+    cfg.iface = Interface::Pm;
+    cfg.faults = kernel::FaultPlan::parse(
+        "seed=3,drop=0.3,spurious=0.3,width=48");
+
+    const auto buildLoop = [](Machine &m) {
+        isa::Assembler a("main");
+        a.movImm(isa::Reg::Eax, 0);
+        const int loop = a.label();
+        a.addImm(isa::Reg::Eax, 1)
+            .cmpImm(isa::Reg::Eax, 50000)
+            .jne(loop)
+            .halt();
+        m.addUserBlock(a.take());
+        m.finalize();
+    };
+
+    Machine adverse(cfg);
+    buildLoop(adverse);
+    // Dirty the machine: several runs at other seeds, each drawing
+    // from the fault streams and leaving interrupt state behind.
+    (void)adverse.tryRun(); // boot seed
+    for (std::uint64_t s : {11u, 12u, 13u}) {
+        adverse.reboot(s);
+        (void)adverse.tryRun();
+    }
+
+    adverse.reboot(42);
+    const auto r1 = adverse.tryRun();
+
+    MachineConfig freshCfg = cfg;
+    freshCfg.seed = 42;
+    Machine fresh(freshCfg);
+    buildLoop(fresh);
+    const auto r2 = fresh.tryRun();
+
+    ASSERT_EQ(r1.ok(), r2.ok());
+    if (r1.ok()) {
+        EXPECT_EQ(r1->userInstr, r2->userInstr);
+        EXPECT_EQ(r1->kernelInstr, r2->kernelInstr);
+        EXPECT_EQ(r1->cycles, r2->cycles);
+        EXPECT_EQ(r1->interrupts, r2->interrupts);
+    } else {
+        EXPECT_EQ(r1.status().toString(), r2.status().toString());
+    }
+}
+
+/**
+ * The same contract one level up: a session that has burned retries
+ * on earlier faulty runs must produce the same result for seed s as
+ * a fresh session that never faulted.
+ */
+TEST(SessionEquivalence, RetryHistoryInvisibleAcrossSessionRuns)
+{
+    const NullBench bench;
+    HarnessConfig cfg;
+    cfg.faults =
+        kernel::FaultPlan::parse("seed=5,attach=0.4,retries=6");
+
+    HarnessSession dirty(cfg, bench);
+    for (std::uint64_t s = 1; s <= 4; ++s)
+        (void)dirty.tryRun(s);
+    const auto viaDirty = dirty.tryRun(42);
+
+    HarnessSession freshSess(cfg, bench);
+    const auto viaFresh = freshSess.tryRun(42);
+
+    ASSERT_EQ(viaDirty.ok(), viaFresh.ok());
+    if (viaDirty.ok())
+        expectSameMeasurement(*viaDirty, *viaFresh);
+    else
+        EXPECT_EQ(viaDirty.status().toString(),
+                  viaFresh.status().toString());
 }
 
 TEST(ProgramCache, HitsAndMissesAndLru)

@@ -251,7 +251,7 @@ TEST(LibPfmTest, StateMachineFlags)
     m.run();
 }
 
-TEST(LibPfmTest, WritePmcsBeforeCreatePanics)
+TEST(LibPfmTest, WritePmcsBeforeCreateFailsPrecondition)
 {
     Machine m(quiet());
     LibPfm lib(*m.libPfm());
@@ -261,7 +261,10 @@ TEST(LibPfmTest, WritePmcsBeforeCreatePanics)
     a.halt();
     m.addUserBlock(a.take());
     m.finalize();
-    EXPECT_THROW(m.run(), std::logic_error);
+    const auto r = m.tryRun();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(),
+              pca::StatusCode::FailedPrecondition);
 }
 
 TEST(PerfmonModuleTest, SwitchOutDisablesCounters)

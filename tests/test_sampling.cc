@@ -149,7 +149,9 @@ TEST(Sampling, DisarmedByPeriodZeroGuard)
     a.halt();
     m.addUserBlock(a.take());
     m.finalize();
-    EXPECT_THROW(m.run(), std::logic_error);
+    const auto r = m.tryRun();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), pca::StatusCode::InvalidArgument);
 }
 
 TEST(Sampling, FastForwardDisabledWhileSampling)
