@@ -3,10 +3,12 @@
  * Ablation bench for the design decisions DESIGN.md §6 calls out:
  *
  *  1. loop fast-forward — identical results, large wall-clock win;
- *  2. measurement-code-as-simulated-code — switching off the
+ *  2. pre-decoded basic-block execution — identical measurements,
+ *     several-fold interpreter speedup;
+ *  3. measurement-code-as-simulated-code — switching off the
  *     privilege-level masks (counting everything) shows how much of
  *     the error the mode filtering explains;
- *  3. structural front-end model — with placement forced to the
+ *  4. structural front-end model — with placement forced to the
  *     aligned best case the cycle bimodality disappears.
  */
 
@@ -71,8 +73,48 @@ main()
     }
     t.print(std::cout);
 
-    // --- 2. Privilege-level filtering ---
-    std::cout << "\n2. Privilege-level masks (without per-mode "
+    // --- 2. Decode cache on/off ---
+    std::cout << "\n2. Pre-decoded basic-block execution "
+                 "(DESIGN.md #8)\n\n";
+    TextTable td({"iters", "decoded result", "interp result",
+                  "equal", "decoded ms", "interp ms"});
+    for (Count iters : {100000u, 1000000u, 10000000u}) {
+        HarnessConfig cfg;
+        cfg.processor = cpu::Processor::AthlonX2;
+        cfg.iface = Interface::Pm;
+        cfg.pattern = AccessPattern::StartRead;
+        cfg.mode = CountingMode::UserKernel;
+        cfg.fastForward = false; // isolate the block engine
+        cfg.seed = 4242;
+        const LoopBench loop(iters);
+
+        cfg.decodeCache = true;
+        auto t0 = Clock::now();
+        const auto decoded = MeasurementHarness(cfg).measure(loop);
+        auto t1 = Clock::now();
+        cfg.decodeCache = false;
+        const auto interp = MeasurementHarness(cfg).measure(loop);
+        auto t2 = Clock::now();
+
+        const double dec_ms =
+            std::chrono::duration<double, std::milli>(t1 - t0)
+                .count();
+        const double in_ms =
+            std::chrono::duration<double, std::milli>(t2 - t1)
+                .count();
+        td.addRow({fmtCount(static_cast<long long>(iters)),
+                   std::to_string(decoded.delta()),
+                   std::to_string(interp.delta()),
+                   decoded.delta() == interp.delta() &&
+                           decoded.run.cycles == interp.run.cycles
+                       ? "yes"
+                       : "NO",
+                   fmtDouble(dec_ms, 2), fmtDouble(in_ms, 2)});
+    }
+    td.print(std::cout);
+
+    // --- 3. Privilege-level filtering ---
+    std::cout << "\n3. Privilege-level masks (without per-mode "
                  "filtering, user-mode\n   measurements would "
                  "inherit the whole kernel-side error)\n\n";
     TextTable t2({"interface", "user err", "u+k err",
@@ -94,8 +136,8 @@ main()
     }
     t2.print(std::cout);
 
-    // --- 3. Placement sensitivity ---
-    std::cout << "\n3. Structural front-end model: cycles/iteration "
+    // --- 4. Placement sensitivity ---
+    std::cout << "\n4. Structural front-end model: cycles/iteration "
                  "across 16 placements\n   (a lookup-table model "
                  "would be placement-blind)\n\n";
     stats::Histogram h(1.5, 3.5, 8);

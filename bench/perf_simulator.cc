@@ -11,6 +11,12 @@
  * engine with the cross-run program cache — and writes points/sec,
  * speedup, and the cache hit rate to BENCH_studies.json.
  *
+ * `perf_simulator --interp [output.json]` times the interpreter on
+ * the fig07/fig09 loop-sweep workload across decode-cache x
+ * fast-forward settings, asserts the decode cache is architecturally
+ * invisible, and writes instr/sec, points/sec, and the decode
+ * speedup to BENCH_interpreter.json.
+ *
  * `perf_simulator --chaos [output.json]` soaks the resilient engine:
  * the fig01 workload runs under a PCA_FAULTS rate sweep at a fixed
  * fault-plan seed, asserting that every sweep step completes without
@@ -213,6 +219,213 @@ secondsSince(std::chrono::steady_clock::time_point t0)
     return std::chrono::duration<double>(
                std::chrono::steady_clock::now() - t0)
         .count();
+}
+
+// ---------------------------------------------------------------- //
+// --interp: decode-cache interpreter throughput
+// ---------------------------------------------------------------- //
+
+/** One timed configuration of the loop-sweep workload. */
+struct InterpCell
+{
+    bool decode = false;
+    bool fastForward = false;
+    double sec = 0.0;
+    Count instr = 0;     //!< simulated instructions retired
+    double ips = 0.0;    //!< simulated instructions per wall second
+    std::string digest;  //!< architectural + event fingerprint
+};
+
+/**
+ * Fingerprint everything the decode cache must leave untouched:
+ * the run result, the final cycle count and TSC, and every raw
+ * event counter in both modes. Any engine-visible divergence from
+ * the legacy interpreter shows up here.
+ */
+std::string
+archDigest(const cpu::RunResult &r, harness::Machine &m)
+{
+    std::ostringstream os;
+    os << r.userInstr << '/' << r.kernelInstr << '/' << r.cycles
+       << '/' << r.interrupts << '/' << r.fastForwardedIters;
+    for (std::size_t e = 0; e < cpu::numEvents; ++e)
+        for (auto mode : {Mode::User, Mode::Kernel})
+            os << '/'
+               << m.core().rawEvents(static_cast<cpu::EventType>(e),
+                                     mode);
+    return os.str();
+}
+
+/**
+ * Run the fig07/fig09 loop-sweep shape (counted add/cmp/jne loop)
+ * once under one decode-cache x fast-forward setting. The machine is
+ * built fresh, exactly like the study engine's uncached path; only
+ * the run itself is timed.
+ */
+void
+runLoopOnce(InterpCell &cell, Count iters)
+{
+    MachineConfig cfg;
+    cfg.processor = cpu::Processor::AthlonX2;
+    cfg.iface = Interface::Pm;
+    cfg.interruptsEnabled = false;
+    cfg.fastForward = cell.fastForward;
+    cfg.decodeCache = cell.decode;
+    Machine m(cfg);
+    Assembler a("main");
+    a.movImm(Reg::Eax, 0);
+    int loop = a.label();
+    a.addImm(Reg::Eax, 1)
+        .cmpImm(Reg::Eax, static_cast<std::int64_t>(iters))
+        .jne(loop)
+        .halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    const auto t0 = std::chrono::steady_clock::now();
+    const cpu::RunResult res = m.run();
+    const double sec = secondsSince(t0);
+    // Best-of-reps: the reps are interleaved across cells, so taking
+    // each cell's fastest run cancels machine-load noise that a
+    // consecutive-rep average would fold into whichever cell it hit.
+    if (cell.sec == 0.0 || sec < cell.sec) {
+        cell.sec = sec;
+        cell.instr = res.userInstr + res.kernelInstr;
+    }
+    if (cell.digest.empty())
+        cell.digest = archDigest(res, m);
+}
+
+/**
+ * Time full measurement points (fig07 shape: loop benchmark, PD/Pc,
+ * interrupts live) with the decode cache on or off. Returns
+ * {points/sec, error-sequence digest}.
+ */
+std::pair<double, std::string>
+timeHarnessPoints(bool decode, int runs)
+{
+    const LoopBench bench(100000);
+    std::ostringstream digest;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < runs; ++r) {
+        HarnessConfig cfg;
+        cfg.processor = cpu::Processor::PentiumD;
+        cfg.iface = Interface::Pc;
+        cfg.pattern = AccessPattern::ReadRead;
+        cfg.seed = static_cast<std::uint64_t>(r) + 1;
+        cfg.decodeCache = decode;
+        const auto m = MeasurementHarness(cfg).measure(bench);
+        digest << m.error() << '/';
+    }
+    const double sec = secondsSince(t0);
+    return {sec > 0 ? runs / sec : 0.0, digest.str()};
+}
+
+int
+runInterpMode(const std::string &out_path)
+{
+    constexpr Count iters = 1000000;
+    constexpr int reps = 5;
+    constexpr int harnessRuns = 24;
+
+    std::cout << "interp workload: " << iters << "-iteration loop x "
+              << reps << " reps, decode {on, off} x ff {off, on}\n";
+
+    // ff off first: that pair is the headline interpreter speedup.
+    std::vector<InterpCell> cells;
+    for (const bool ff : {false, true})
+        for (const bool decode : {true, false}) {
+            InterpCell c;
+            c.decode = decode;
+            c.fastForward = ff;
+            cells.push_back(c);
+        }
+    for (int r = 0; r < reps; ++r)
+        for (InterpCell &c : cells)
+            runLoopOnce(c, iters);
+    for (InterpCell &c : cells)
+        c.ips = c.sec > 0
+            ? static_cast<double>(c.instr) / c.sec
+            : 0.0;
+
+    bool identical = true;
+    for (const InterpCell &c : cells) {
+        std::cout << "decode " << (c.decode ? "on " : "off")
+                  << ", ff " << (c.fastForward ? "on " : "off")
+                  << ": " << fmtDouble(c.sec, 3) << " s, "
+                  << fmtDouble(c.ips / 1e6, 2) << " M instr/s\n";
+    }
+    // The cache must be invisible: compare digests within each ff
+    // setting (decode on vs off), not across ff settings.
+    for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
+        if (cells[i].digest != cells[i + 1].digest) {
+            std::cerr << "FATAL: decode cache changed architectural "
+                         "state (ff "
+                      << (cells[i].fastForward ? "on" : "off")
+                      << ")\n";
+            identical = false;
+        }
+    }
+    if (!identical)
+        return 1;
+
+    const double speedup =
+        cells[1].ips > 0 ? cells[0].ips / cells[1].ips : 0.0;
+    const double speedupFf =
+        cells[3].ips > 0 ? cells[2].ips / cells[3].ips : 0.0;
+    std::cout << "decode-cache speedup: " << fmtDouble(speedup, 2)
+              << "x (interpreted), " << fmtDouble(speedupFf, 2)
+              << "x (fast-forwarded)\n";
+
+    const auto [onPps, onDigest] = timeHarnessPoints(true,
+                                                     harnessRuns);
+    const auto [offPps, offDigest] = timeHarnessPoints(false,
+                                                       harnessRuns);
+    if (onDigest != offDigest) {
+        std::cerr << "FATAL: decode cache changed measurement "
+                     "errors\n";
+        return 1;
+    }
+    const double harnessSpeedup = offPps > 0 ? onPps / offPps : 0.0;
+    std::cout << "measurement points/sec: " << fmtDouble(onPps, 2)
+              << " (decode on) vs " << fmtDouble(offPps, 2)
+              << " (off), " << fmtDouble(harnessSpeedup, 2) << "x\n";
+
+    std::ofstream os(out_path);
+    if (!os) {
+        std::cerr << "cannot write " << out_path << "\n";
+        return 1;
+    }
+    os << "{\n"
+       << "  \"workload\": \"loop_sweep_interp\",\n"
+       << "  \"loop_iters\": " << iters << ",\n"
+       << "  \"reps\": " << reps << ",\n"
+       << "  \"cells\": [\n";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const InterpCell &c = cells[i];
+        os << "    {\"decode\": " << (c.decode ? "true" : "false")
+           << ", \"fast_forward\": "
+           << (c.fastForward ? "true" : "false")
+           << ", \"sec\": " << fmtDouble(c.sec, 4)
+           << ", \"instr\": " << c.instr
+           << ", \"instr_per_sec\": " << fmtDouble(c.ips, 0) << "}"
+           << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n"
+       << "  \"decode_speedup\": " << fmtDouble(speedup, 3) << ",\n"
+       << "  \"decode_speedup_ff\": " << fmtDouble(speedupFf, 3)
+       << ",\n"
+       << "  \"harness_workload\": \"fig07_loop_interrupts\",\n"
+       << "  \"harness_runs\": " << harnessRuns << ",\n"
+       << "  \"harness_points_per_sec_on\": " << fmtDouble(onPps, 2)
+       << ",\n"
+       << "  \"harness_points_per_sec_off\": "
+       << fmtDouble(offPps, 2) << ",\n"
+       << "  \"harness_decode_speedup\": "
+       << fmtDouble(harnessSpeedup, 3) << ",\n"
+       << "  \"outputs_identical\": true\n"
+       << "}\n";
+    std::cout << "wrote " << out_path << "\n";
+    return 0;
 }
 
 /**
@@ -502,6 +715,12 @@ main(int argc, char **argv)
                 ? argv[i + 1]
                 : "BENCH_studies.json";
             return runStudiesMode(out);
+        }
+        if (std::strcmp(argv[i], "--interp") == 0) {
+            const std::string out = i + 1 < argc
+                ? argv[i + 1]
+                : "BENCH_interpreter.json";
+            return runInterpMode(out);
         }
         if (std::strcmp(argv[i], "--chaos") == 0) {
             const std::string out = i + 1 < argc

@@ -29,49 +29,6 @@ CacheModel::CacheModel(int sets, int ways, int line_bytes)
     pca_assert(ways > 0);
 }
 
-std::size_t
-CacheModel::setIndex(Addr addr) const
-{
-    return static_cast<std::size_t>(
-        (addr >> lineShift) & static_cast<Addr>(numSets - 1));
-}
-
-Addr
-CacheModel::tagOf(Addr addr) const
-{
-    return addr >> lineShift;
-}
-
-bool
-CacheModel::access(Addr addr)
-{
-    const std::size_t base = setIndex(addr) * numWays;
-    const Addr tag = tagOf(addr);
-    ++useClock;
-
-    std::size_t victim = base;
-    std::uint64_t oldest = UINT64_MAX;
-    for (std::size_t w = base; w < base + numWays; ++w) {
-        Way &way = waysStore[w];
-        if (way.valid && way.tag == tag) {
-            way.lastUse = useClock;
-            ++hitCount;
-            return true;
-        }
-        const std::uint64_t age = way.valid ? way.lastUse : 0;
-        if (age < oldest) {
-            oldest = age;
-            victim = w;
-        }
-    }
-    Way &way = waysStore[victim];
-    way.tag = tag;
-    way.valid = true;
-    way.lastUse = useClock;
-    ++missCount;
-    return false;
-}
-
 bool
 CacheModel::contains(Addr addr) const
 {
@@ -88,6 +45,8 @@ CacheModel::flush()
 {
     for (auto &way : waysStore)
         way.valid = false;
+    hotTag = ~Addr{0};
+    hotWay = 0;
     useClock = 0;
 }
 

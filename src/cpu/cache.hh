@@ -31,8 +31,74 @@ class CacheModel
     /**
      * Look up the line containing @p addr, filling it on a miss.
      * @return true on hit
+     *
+     * Inline: every simulated instruction funnels several of these
+     * (fetch, TLB, data, BTB), and the way loop is short.
      */
-    bool access(Addr addr);
+    bool access(Addr addr)
+    {
+        const std::size_t base =
+            setIndex(addr) * static_cast<std::size_t>(numWays);
+        const Addr tag = tagOf(addr);
+        ++useClock;
+
+        std::size_t victim = base;
+        std::uint64_t oldest = UINT64_MAX;
+        for (std::size_t w = base;
+             w < base + static_cast<std::size_t>(numWays); ++w) {
+            Way &way = waysStore[w];
+            if (way.valid && way.tag == tag) {
+                way.lastUse = useClock;
+                ++hitCount;
+                return true;
+            }
+            const std::uint64_t age = way.valid ? way.lastUse : 0;
+            if (age < oldest) {
+                oldest = age;
+                victim = w;
+            }
+        }
+        Way &way = waysStore[victim];
+        way.tag = tag;
+        way.valid = true;
+        way.lastUse = useClock;
+        ++missCount;
+        return false;
+    }
+
+    /**
+     * access() with a one-entry memo of the last hit. Exact same
+     * semantics and statistics — the memo only skips the way scan
+     * when the previous hit line is accessed again (it is still MRU,
+     * so the scan would find it first). For single-address hot spots
+     * like a loop branch in the BTB.
+     */
+    bool accessHot(Addr addr)
+    {
+        const Addr tag = tagOf(addr);
+        if (tag == hotTag) {
+            Way &hw = waysStore[hotWay];
+            if (hw.valid && hw.tag == tag) {
+                hw.lastUse = ++useClock;
+                ++hitCount;
+                return true;
+            }
+        }
+        const bool hit = access(addr);
+        // access() left the line MRU (filled on miss), so its way now
+        // holds the most recent useClock stamp: remember it.
+        const std::size_t base =
+            setIndex(addr) * static_cast<std::size_t>(numWays);
+        for (std::size_t w = base;
+             w < base + static_cast<std::size_t>(numWays); ++w) {
+            if (waysStore[w].lastUse == useClock) {
+                hotTag = tag;
+                hotWay = w;
+                break;
+            }
+        }
+        return hit;
+    }
 
     /** Probe without side effects. */
     bool contains(Addr addr) const;
@@ -55,14 +121,21 @@ class CacheModel
         std::uint64_t lastUse = 0;
     };
 
-    std::size_t setIndex(Addr addr) const;
-    Addr tagOf(Addr addr) const;
+    std::size_t setIndex(Addr addr) const
+    {
+        return static_cast<std::size_t>(
+            (addr >> lineShift) & static_cast<Addr>(numSets - 1));
+    }
+
+    Addr tagOf(Addr addr) const { return addr >> lineShift; }
 
     int numSets;
     int numWays;
     int lineSize;
     int lineShift;
     std::vector<Way> waysStore; // numSets * numWays
+    Addr hotTag = ~Addr{0};     // accessHot memo: last hit line
+    std::size_t hotWay = 0;     // ... and the way that held it
     std::uint64_t useClock = 0;
     std::uint64_t hitCount = 0;
     std::uint64_t missCount = 0;

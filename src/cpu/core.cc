@@ -25,6 +25,17 @@ Core::Core(const MicroArch &arch)
       dtlb(std::max(1, arch.dtlbEntries / arch.dtlbWays),
            arch.dtlbWays, 4096)
 {
+    auto shift_of = [](int bytes) {
+        int s = 0;
+        while ((1 << s) < bytes)
+            ++s;
+        return s;
+    };
+    icLineShift = shift_of(icache.lineBytes());
+    itlbPageShift = shift_of(itlb.lineBytes());
+    // The block engine nests its iTLB-page check inside the
+    // icache-line check: lines must subdivide pages.
+    pca_assert(icLineShift <= itlbPageShift);
     reset();
 }
 
@@ -128,6 +139,10 @@ Core::fetchCosts(const Inst &in)
         chargeCycles(static_cast<Cycles>(archRef.itlbMissPenalty));
         countEvent(EventType::ItlbMiss);
     }
+    // Keep the block engine's same-line fast path honest: these must
+    // always name the most recently accessed icache line / iTLB page.
+    lastFetchLine = in.addr >> icLineShift;
+    lastFetchPage = in.addr >> itlbPageShift;
     chargeCycles(frontEnd.onInst(in.addr, in.size));
 }
 
@@ -160,8 +175,15 @@ Core::run(CodePtr entry, Count max_instr)
             if (vec >= 0)
                 deliverInterrupt(vec);
         }
-        step();
-        if (++steps > max_instr)
+        if (decodeOn && !pmuUnit.samplingActive()) {
+            steps += stepDecodedBlock();
+        } else {
+            // Sampling sessions force pure interpretation: overflow
+            // must be observed at the exact retiring instruction.
+            step();
+            ++steps;
+        }
+        if (steps > max_instr)
             pca_panic("runaway program: executed ", steps,
                       " steps without halting");
     }
@@ -252,6 +274,296 @@ Core::step()
             static_cast<std::uint64_t>(prev_index);
         maybeFastForwardKeyed(key, in, prev_index);
     }
+}
+
+/**
+ * Execute one straight-line run of pre-decoded instructions in a
+ * single dispatch. Returns the number of steps taken (== retired
+ * instructions for inline runs; 1 for the escape fallback).
+ *
+ * Bit-identity with the per-step interpreter rests on four facts:
+ *  - run() only dispatches here when PMU sampling is inactive, and no
+ *    inline opcode can arm it, so a PMI can never become pending
+ *    mid-run;
+ *  - InterruptClient::nextInterruptCycle() is constant between
+ *    pollInterrupt() calls, so caching it per dispatch and breaking
+ *    after the first instruction that reaches it reproduces the
+ *    baseline poll points exactly (the baseline, too, always executes
+ *    exactly one instruction after each poll);
+ *  - InstrRetired/SPC retire accounting is purely additive while
+ *    sampling is off, so batching it to one count() per run is
+ *    invisible — and the batch is flushed (commit) before anything
+ *    that could observe it: escapes, fast-forward, or return;
+ *  - curMode cannot change inside a run (mode transitions escape).
+ */
+Count
+Core::stepDecodedBlock()
+{
+    const isa::DecodedBlock &db = program->decoded(pc.block);
+    std::size_t idx = static_cast<std::size_t>(pc.index);
+    if (idx >= db.size() || db.inst(idx).escape()) {
+        step();
+        return 1;
+    }
+
+    const Mode mode = curMode;
+    const auto mi = static_cast<std::size_t>(mode);
+    const bool check_irq = mode == Mode::User && intClient != nullptr;
+    const Cycles irq_due =
+        check_irq ? intClient->nextInterruptCycle() : 0;
+    auto run_end = static_cast<std::size_t>(db.runEnd(idx));
+
+    // Cap one dispatch so run()'s runaway guard still triggers on
+    // programs that never escape (a Halt-less inline loop).
+    constexpr Count chunk = 65536;
+
+    // Within a straight-line segment idx and the step count advance
+    // in lockstep, so the chunk budget folds into one precomputed
+    // index bound: break when idx reaches min(run_end, budget left).
+    auto segment_limit = [&](std::size_t at, Count used,
+                             std::size_t end) {
+        const auto left = static_cast<std::size_t>(chunk - used);
+        return end - at < left ? end : at + left;
+    };
+
+    Count retired = 0;  //!< batched, not yet flushed
+    Count brRetired = 0; //!< batched branch retires
+    Cycles pend = 0;    //!< batched cycle charges
+    Count total = 0;    //!< steps taken this dispatch
+    bool poison = mode != Mode::User;
+
+    // Keep the fetch-skip keys in registers for the run; members are
+    // synced at every point the run can leave this function.
+    Addr fetchLine = lastFetchLine;
+    Addr fetchPage = lastFetchPage;
+
+    // Flush the retire and cycle batches. Both are purely additive
+    // while sampling is off (and the mode is constant for the whole
+    // run), so deferring them is invisible as long as every observer
+    // sees a flushed state: fast-forward, escapes, and dispatch exit
+    // (interrupt polls, rdpmc, HostOp captures). Nothing inside the
+    // loop reads cycleCount or the TSC: time-reading opcodes escape,
+    // and dataAccess() only touches the cache models. The interrupt
+    // horizon check below compensates with cycleCount + pend.
+    auto flush = [&] {
+        if (retired != 0) {
+            instrPerMode[mi] += retired;
+            rawEv[static_cast<std::size_t>(EventType::InstrRetired)]
+                 [mi] += retired;
+            pmuUnit.count(EventType::InstrRetired, mode, retired);
+            if (mode == Mode::Kernel)
+                PCA_SPC_ADD(KernelInstrs, retired);
+            retired = 0;
+        }
+        if (brRetired != 0) {
+            rawEv[static_cast<std::size_t>(
+                EventType::BrInstRetired)][mi] += brRetired;
+            pmuUnit.count(EventType::BrInstRetired, mode, brRetired);
+            brRetired = 0;
+        }
+        if (pend != 0) {
+            cycleCount += pend;
+            cyclesPerMode[mi] += pend;
+            pmuUnit.addCycles(pend, mode);
+            pend = 0;
+        }
+        if (poison)
+            poisonSinceBackward = true;
+        poison = mode != Mode::User;
+        lastFetchLine = fetchLine;
+        lastFetchPage = fetchPage;
+    };
+
+    const isa::DecodedInst *code = db.data();
+    std::size_t limit = segment_limit(idx, total, run_end);
+    for (;;) {
+        const isa::DecodedInst &di = code[idx];
+
+        // Fetch. Consecutive fetches within one icache line / iTLB
+        // page are guaranteed hits on an already-MRU entry, so the
+        // lookup (and its LRU touch) can be skipped without changing
+        // any future victim choice, miss, or cycle. A page change
+        // implies a line change (lines subdivide pages), so the page
+        // check only needs to run when the line changed.
+        const Addr line = di.addr >> icLineShift;
+        if (line != fetchLine) {
+            fetchLine = line;
+            if (!icache.access(di.addr)) {
+                pend += static_cast<Cycles>(archRef.icacheMissPenalty);
+                countEvent(EventType::IcacheMiss);
+                if (!l2.access(di.addr)) {
+                    pend += static_cast<Cycles>(archRef.l2MissPenalty);
+                    countEvent(EventType::L2Miss);
+                }
+            }
+            const Addr page = di.addr >> itlbPageShift;
+            if (page != fetchPage) {
+                fetchPage = page;
+                if (!itlb.access(di.addr)) {
+                    pend +=
+                        static_cast<Cycles>(archRef.itlbMissPenalty);
+                    countEvent(EventType::ItlbMiss);
+                }
+            }
+        }
+        pend += frontEnd.onInst(di.addr, di.size);
+
+        bool taken = false;
+        switch (di.op) {
+          case Opcode::MovImm:
+            regs[di.r1] = static_cast<std::uint64_t>(di.imm);
+            break;
+          case Opcode::MovReg:
+            regs[di.r1] = regs[di.r2];
+            break;
+          case Opcode::AddImm:
+            regs[di.r1] += static_cast<std::uint64_t>(di.imm);
+            break;
+          case Opcode::AddReg:
+            regs[di.r1] += regs[di.r2];
+            break;
+          case Opcode::SubImm:
+            regs[di.r1] -= static_cast<std::uint64_t>(di.imm);
+            break;
+          case Opcode::SubReg:
+            regs[di.r1] -= regs[di.r2];
+            break;
+          case Opcode::CmpImm:
+            zeroFlag =
+                regs[di.r1] == static_cast<std::uint64_t>(di.imm);
+            lessFlag =
+                static_cast<std::int64_t>(regs[di.r1]) < di.imm;
+            break;
+          case Opcode::CmpReg:
+            zeroFlag = regs[di.r1] == regs[di.r2];
+            lessFlag = static_cast<std::int64_t>(regs[di.r1]) <
+                static_cast<std::int64_t>(regs[di.r2]);
+            break;
+          case Opcode::TestReg:
+            zeroFlag = (regs[di.r1] & regs[di.r2]) == 0;
+            lessFlag = false;
+            break;
+          case Opcode::XorReg:
+            regs[di.r1] ^= regs[di.r2];
+            break;
+          case Opcode::AndImm:
+            regs[di.r1] &= static_cast<std::uint64_t>(di.imm);
+            break;
+          case Opcode::OrReg:
+            regs[di.r1] |= regs[di.r2];
+            break;
+          case Opcode::ShlImm:
+            regs[di.r1] <<= di.imm;
+            break;
+          case Opcode::ShrImm:
+            regs[di.r1] >>= di.imm;
+            break;
+
+          case Opcode::Load:
+          {
+            const Addr a = regs[di.r2] + static_cast<Addr>(di.imm);
+            auto it = memory.find(a);
+            regs[di.r1] = it == memory.end() ? 0 : it->second;
+            dataAccess(a);
+            break;
+          }
+          case Opcode::Store:
+          {
+            const Addr a = regs[di.r2] + static_cast<Addr>(di.imm);
+            memory[a] = regs[di.r1];
+            dataAccess(a);
+            break;
+          }
+          case Opcode::Push:
+            reg(Reg::Esp) -= 8;
+            memory[reg(Reg::Esp)] = regs[di.r1];
+            dataAccess(reg(Reg::Esp));
+            break;
+          case Opcode::Pop:
+            regs[di.r1] = memory[reg(Reg::Esp)];
+            dataAccess(reg(Reg::Esp));
+            reg(Reg::Esp) += 8;
+            break;
+
+          case Opcode::Jmp:
+            predictor.noteUncond(di.addr);
+            ++brRetired;
+            taken = true;
+            break;
+          case Opcode::Je:
+          case Opcode::Jne:
+          case Opcode::Jl:
+          case Opcode::Jge:
+          {
+            const bool t = di.op == Opcode::Je    ? zeroFlag
+                           : di.op == Opcode::Jne ? !zeroFlag
+                           : di.op == Opcode::Jl  ? lessFlag
+                                                  : !lessFlag;
+            const bool mispred = predictor.predictAndTrain(di.addr, t);
+            ++brRetired;
+            if (mispred) {
+                pend += static_cast<Cycles>(archRef.mispredictPenalty);
+                rawEv[static_cast<std::size_t>(
+                    EventType::BrMispRetired)][mi] += 1;
+                pmuUnit.count(EventType::BrMispRetired, mode, 1);
+            }
+            taken = t;
+            break;
+          }
+
+          case Opcode::Nop:
+            break;
+          case Opcode::Cpuid:
+            pend += static_cast<Cycles>(archRef.cpuidCycles);
+            break;
+          default:
+            pca_panic("escape opcode ", isa::opcodeName(di.op),
+                      " reached the block engine");
+        }
+
+        if (taken) {
+            pend += frontEnd.onTakenBranch(
+                di.addr, di.addr + static_cast<Addr>(di.size),
+                di.targetAddr);
+            ++retired;
+            ++total;
+            if ((di.flags & isa::DiBackwardBranch) != 0 && ffEnabled &&
+                mode == Mode::User) {
+                // The fast-forward machinery observes per-iteration
+                // retire/cycle deltas and poisonSinceBackward: flush
+                // first, exactly as if every instruction had retired
+                // individually.
+                flush();
+                const auto bidx = static_cast<int>(idx);
+                pc.index = di.targetIndex;
+                const std::uint64_t key =
+                    (static_cast<std::uint64_t>(pc.block) << 32) |
+                    static_cast<std::uint64_t>(bidx);
+                maybeFastForwardKeyed(
+                    key, program->inst(CodePtr{pc.block, bidx}), bidx);
+            }
+            idx = static_cast<std::size_t>(di.targetIndex);
+            if (idx >= db.size() || code[idx].escape())
+                break;
+            run_end = static_cast<std::size_t>(db.runEnd(idx));
+            if ((check_irq && cycleCount + pend >= irq_due) ||
+                total >= chunk)
+                break;
+            limit = segment_limit(idx, total, run_end);
+            continue;
+        }
+
+        ++retired;
+        ++total;
+        poison |= (di.flags & isa::DiFfSafe) == 0;
+        ++idx;
+        if ((check_irq && cycleCount + pend >= irq_due) ||
+            idx >= limit)
+            break;
+    }
+    flush();
+    pc.index = static_cast<int>(idx);
+    return total;
 }
 
 void
@@ -676,6 +988,8 @@ Core::reset()
     userRdtscOk = true;
     loops.clear();
     poisonSinceBackward = true;
+    lastFetchLine = ~Addr{0};
+    lastFetchPage = ~Addr{0};
 }
 
 } // namespace pca::cpu

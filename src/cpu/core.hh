@@ -93,6 +93,18 @@ class Core : public isa::CpuContext
      */
     void setFastForwardEnabled(bool on) { ffEnabled = on; }
 
+    /**
+     * Enable/disable the pre-decoded basic-block engine (default
+     * on). When enabled, straight-line runs of decoded instructions
+     * execute in one dispatch with batched retire accounting; when
+     * disabled (or whenever PMU sampling is armed), every
+     * instruction goes through the legacy per-step interpreter.
+     * Architectural state, PMU counts, interrupt delivery points and
+     * fault schedules are identical either way (asserted by tests,
+     * measured by the ablation bench).
+     */
+    void setDecodeCacheEnabled(bool on) { decodeOn = on; }
+
     /** CR4.PCE: whether RDPMC is legal in user mode. */
     void allowUserRdpmc(bool allow) { userRdpmcOk = allow; }
     /** CR4.TSD is off by default: RDTSC legal in user mode. */
@@ -184,6 +196,7 @@ class Core : public isa::CpuContext
     };
 
     void step();
+    Count stepDecodedBlock();
     void execute(const isa::Inst &in);
     void deliverInterrupt(int vector);
     void chargeCycles(Cycles c);
@@ -240,6 +253,18 @@ class Core : public isa::CpuContext
     bool ffEnabled = true;
     std::unordered_map<std::uint64_t, LoopFf> loops;
     bool poisonSinceBackward = true;
+
+    // Decode-cache (basic-block) engine state. The last-fetched
+    // icache line / iTLB page let the block engine skip redundant
+    // lookups for consecutive fetches within one line: a repeat
+    // access is a guaranteed hit and, with a strictly monotonic
+    // per-model LRU clock, skipping it cannot change any future
+    // victim choice — so misses, penalties and cycles are identical.
+    bool decodeOn = true;
+    int icLineShift = 0;
+    int itlbPageShift = 0;
+    Addr lastFetchLine = ~Addr{0};
+    Addr lastFetchPage = ~Addr{0};
 };
 
 } // namespace pca::cpu

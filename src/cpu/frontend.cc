@@ -1,86 +1,20 @@
 #include "cpu/frontend.hh"
 
+#include "support/logging.hh"
+
 namespace pca::cpu
 {
 
 FrontEnd::FrontEnd(const MicroArch &arch)
     : arch(arch)
 {
-}
-
-Cycles
-FrontEnd::onInst(Addr addr, int size)
-{
-    Cycles c = 0;
-    if (!lsdOn) {
-        const Addr w0 = windowOf(addr);
-        const Addr w1 = windowOf(addr + static_cast<Addr>(size) - 1);
-        if (w0 != curWindow) {
-            ++c;
-            issued = 0;
-        }
-        if (w1 != w0) {
-            ++c;
-            issued = 0;
-        }
-        curWindow = w1;
-    }
-    ++issued;
-    if (issued >= arch.decodeWidth) {
-        ++c;
-        issued = 0;
-    }
-    return c;
-}
-
-Cycles
-FrontEnd::onTakenBranch(Addr branch_addr, Addr branch_end, Addr target)
-{
-    Cycles c = 0;
-    // Flush the partial decode group.
-    if (issued > 0) {
-        ++c;
-        issued = 0;
-    }
-
-    // Loop-stream detector (Core2): a backward branch whose whole
-    // body sits inside one i-cache line can stream from the loop
-    // buffer — no fetch, no redirect bubble.
-    if (arch.loopStreamDetector && target < branch_addr) {
-        const Addr span = branch_end - target;
-        const auto line = static_cast<Addr>(arch.icacheLineBytes);
-        const bool fits = span
-            <= static_cast<Addr>(arch.lsdMaxInsts) * 4 &&
-            (target / line) == ((branch_end - 1) / line);
-        if (fits && branch_addr == lsdBranch) {
-            lsdOn = true;
-            return c; // streaming: no bubble
-        }
-        lsdBranch = fits ? branch_addr : ~Addr{0};
-        lsdOn = false;
-    } else {
-        lsdOn = false;
-        lsdBranch = ~Addr{0};
-    }
-
-    if (arch.traceCacheReplay) {
-        // NetBurst: a loop head in the upper half of a 128-byte
-        // trace-cache region forces a trace rebuild every iteration;
-        // otherwise the redirect costs a cycle only every other
-        // iteration (double-pumped front end).
-        const bool rebuild = (target >> 6) & 1;
-        if (rebuild) {
-            c += 2;
-        } else {
-            replayToggle = !replayToggle;
-            c += replayToggle ? 1 : 0;
-        }
-    } else {
-        c += static_cast<Cycles>(arch.redirectBubble);
-    }
-
-    curWindow = windowOf(target);
-    return c;
+    // Fetch windows are aligned power-of-two regions; a shift keeps
+    // the per-instruction window computation off the divider.
+    pca_assert(arch.fetchBytes > 0 &&
+               (arch.fetchBytes & (arch.fetchBytes - 1)) == 0);
+    windowShift = 0;
+    while ((1 << windowShift) < arch.fetchBytes)
+        ++windowShift;
 }
 
 void

@@ -37,8 +37,35 @@ class FrontEnd
   public:
     explicit FrontEnd(const MicroArch &arch);
 
-    /** Account for fetching/decoding one instruction. */
-    Cycles onInst(Addr addr, int size);
+    /**
+     * Account for fetching/decoding one instruction. Inline: this is
+     * the single hottest call in the interpreter (once per simulated
+     * instruction, decoded or not).
+     */
+    Cycles onInst(Addr addr, int size)
+    {
+        Cycles c = 0;
+        if (!lsdOn) {
+            const Addr w0 = windowOf(addr);
+            const Addr w1 =
+                windowOf(addr + static_cast<Addr>(size) - 1);
+            if (w0 != curWindow) {
+                ++c;
+                issued = 0;
+            }
+            if (w1 != w0) {
+                ++c;
+                issued = 0;
+            }
+            curWindow = w1;
+        }
+        ++issued;
+        if (issued >= arch.decodeWidth) {
+            ++c;
+            issued = 0;
+        }
+        return c;
+    }
 
     /**
      * Account for a taken branch: flush the partial decode group,
@@ -47,9 +74,59 @@ class FrontEnd
      * @param branch_addr address of the branch instruction
      * @param branch_end first byte after the branch instruction
      * @param target branch target address
+     *
+     * Inline: once per taken branch, i.e. once per loop iteration on
+     * the workloads the paper sweeps.
      */
     Cycles onTakenBranch(Addr branch_addr, Addr branch_end,
-                         Addr target);
+                         Addr target)
+    {
+        Cycles c = 0;
+        // Flush the partial decode group.
+        if (issued > 0) {
+            ++c;
+            issued = 0;
+        }
+
+        // Loop-stream detector (Core2): a backward branch whose whole
+        // body sits inside one i-cache line can stream from the loop
+        // buffer — no fetch, no redirect bubble.
+        if (arch.loopStreamDetector && target < branch_addr) {
+            const Addr span = branch_end - target;
+            const auto line = static_cast<Addr>(arch.icacheLineBytes);
+            const bool fits = span
+                <= static_cast<Addr>(arch.lsdMaxInsts) * 4 &&
+                (target / line) == ((branch_end - 1) / line);
+            if (fits && branch_addr == lsdBranch) {
+                lsdOn = true;
+                return c; // streaming: no bubble
+            }
+            lsdBranch = fits ? branch_addr : ~Addr{0};
+            lsdOn = false;
+        } else {
+            lsdOn = false;
+            lsdBranch = ~Addr{0};
+        }
+
+        if (arch.traceCacheReplay) {
+            // NetBurst: a loop head in the upper half of a 128-byte
+            // trace-cache region forces a trace rebuild every
+            // iteration; otherwise the redirect costs a cycle only
+            // every other iteration (double-pumped front end).
+            const bool rebuild = (target >> 6) & 1;
+            if (rebuild) {
+                c += 2;
+            } else {
+                replayToggle = !replayToggle;
+                c += replayToggle ? 1 : 0;
+            }
+        } else {
+            c += static_cast<Cycles>(arch.redirectBubble);
+        }
+
+        curWindow = windowOf(target);
+        return c;
+    }
 
     /** Steer fetch without a bubble (call/ret/trap paths). */
     void redirect(Addr target);
@@ -62,16 +139,14 @@ class FrontEnd
   private:
     const MicroArch &arch;
 
+    int windowShift;           //!< log2(arch.fetchBytes)
     Addr curWindow = ~Addr{0}; //!< current aligned fetch window id
     int issued = 0;            //!< instructions in current decode group
     bool lsdOn = false;
     Addr lsdBranch = ~Addr{0}; //!< candidate loop branch address
     bool replayToggle = false; //!< NetBurst alternate-cycle redirect
 
-    Addr windowOf(Addr a) const
-    {
-        return a / static_cast<Addr>(arch.fetchBytes);
-    }
+    Addr windowOf(Addr a) const { return a >> windowShift; }
 };
 
 } // namespace pca::cpu

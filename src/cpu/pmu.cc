@@ -143,7 +143,7 @@ Pmu::setCounterWidth(int bits)
 }
 
 void
-Pmu::count(EventType ev, Mode mode, Count n)
+Pmu::countSlow(EventType ev, Mode mode, Count n)
 {
     const auto e = static_cast<std::size_t>(ev);
     const auto m = static_cast<std::size_t>(mode);
@@ -187,13 +187,6 @@ Pmu::takeOverflow()
     const int i = __builtin_ctzll(pendingMask);
     pendingMask &= ~(1ULL << i);
     return i;
-}
-
-void
-Pmu::addCycles(Cycles n, Mode mode)
-{
-    tsc += n;
-    count(EventType::CpuClkUnhalted, mode, n);
 }
 
 const Pmu::Counter &
@@ -266,6 +259,13 @@ Pmu::rebuildActive()
     };
     add(active, prog);
     add(activeFixed, fixed);
+
+    activeAnyMask = {0, 0};
+    static_assert(numEvents <= 64);
+    for (std::size_t e = 0; e < numEvents; ++e)
+        for (std::size_t m = 0; m < 2; ++m)
+            if (!active[e][m].empty() || !activeFixed[e][m].empty())
+                activeAnyMask[m] |= std::uint64_t{1} << e;
 }
 
 } // namespace pca::cpu

@@ -69,11 +69,26 @@ class Pmu
     std::uint64_t rdtsc() const { return tsc; }
 
     // --- Simulation-side event feed ---
-    /** Record @p n occurrences of @p ev at privilege mode @p mode. */
-    void count(EventType ev, Mode mode, Count n);
+    /**
+     * Record @p n occurrences of @p ev at privilege mode @p mode.
+     * Inline early-out: the interpreter feeds every µarch event
+     * through here, and most (event, mode) pairs have no enabled
+     * counter — one bit test dismisses them.
+     */
+    void count(EventType ev, Mode mode, Count n)
+    {
+        if ((activeAnyMask[static_cast<std::size_t>(mode)] >>
+                 static_cast<std::size_t>(ev) &
+             1) != 0)
+            countSlow(ev, mode, n);
+    }
 
     /** Advance time: TSC and cycle-event counters. */
-    void addCycles(Cycles n, Mode mode);
+    void addCycles(Cycles n, Mode mode)
+    {
+        tsc += n;
+        count(EventType::CpuClkUnhalted, mode, n);
+    }
 
     // --- Introspection (used by kernel modules and tests) ---
     int numProg() const { return static_cast<int>(prog.size()); }
@@ -173,6 +188,7 @@ class Pmu
 
   private:
     void rebuildActive();
+    void countSlow(EventType ev, Mode mode, Count n);
 
     std::vector<Counter> prog;
     std::vector<Counter> fixed;
@@ -193,6 +209,8 @@ class Pmu
      */
     std::array<std::array<std::vector<int>, 2>, numEvents> active;
     std::array<std::array<std::vector<int>, 2>, numEvents> activeFixed;
+    /** Per-mode bitmask over events: any enabled counter at all? */
+    std::array<std::uint64_t, 2> activeAnyMask{};
 };
 
 } // namespace pca::cpu

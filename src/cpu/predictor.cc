@@ -9,42 +9,10 @@ BranchPredictor::BranchPredictor(int btb_sets, int btb_ways)
     : bimodal(static_cast<std::size_t>(btb_sets) * 4, 1),
       btb(btb_sets, btb_ways, /*line_bytes=*/4)
 {
-}
-
-std::size_t
-BranchPredictor::tableIndex(Addr addr) const
-{
-    // Drop the low 2 bits (dense code) and fold.
-    return static_cast<std::size_t>((addr >> 2) ^ (addr >> 13))
-        % bimodal.size();
-}
-
-bool
-BranchPredictor::predictAndTrain(Addr addr, bool taken)
-{
-    ++lookupCount;
-    std::uint8_t &ctr = bimodal[tableIndex(addr)];
-    const bool pred_taken = ctr >= 2;
-
-    // A predicted-taken branch also needs its target from the BTB;
-    // a BTB miss redirects late and costs like a mispredict.
-    const bool btb_hit = btb.access(addr);
-    bool mispredict = (pred_taken != taken) || (taken && !btb_hit);
-
-    if (taken && ctr < 3)
-        ++ctr;
-    else if (!taken && ctr > 0)
-        --ctr;
-
-    if (mispredict)
-        ++mispredictCount;
-    return mispredict;
-}
-
-void
-BranchPredictor::noteUncond(Addr addr)
-{
-    btb.access(addr);
+    // btb_sets is a power of two (asserted by CacheModel), so the
+    // table size is too: index with a mask, not a division.
+    idxMask = bimodal.size() - 1;
+    pca_assert((bimodal.size() & idxMask) == 0);
 }
 
 void

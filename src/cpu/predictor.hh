@@ -34,14 +34,38 @@ class BranchPredictor
      * @param addr branch instruction address
      * @param taken actual outcome
      * @return true if the prediction was wrong
+     *
+     * Inline: called once per executed branch on the interpreter's
+     * hot path.
      */
-    bool predictAndTrain(Addr addr, bool taken);
+    bool predictAndTrain(Addr addr, bool taken)
+    {
+        ++lookupCount;
+        std::uint8_t &ctr = bimodal[tableIndex(addr)];
+        const bool pred_taken = ctr >= 2;
+
+        // A predicted-taken branch also needs its target from the
+        // BTB; a BTB miss redirects late and costs like a mispredict.
+        // Loop branches re-access one address: use the memoized path.
+        const bool btb_hit = btb.accessHot(addr);
+        const bool mispredict =
+            (pred_taken != taken) || (taken && !btb_hit);
+
+        if (taken && ctr < 3)
+            ++ctr;
+        else if (!taken && ctr > 0)
+            --ctr;
+
+        if (mispredict)
+            ++mispredictCount;
+        return mispredict;
+    }
 
     /**
      * Record an unconditional transfer (jmp/call/ret); only allocates
      * the BTB entry, never mispredicts in this model.
      */
-    void noteUncond(Addr addr);
+    void noteUncond(Addr addr) { btb.accessHot(addr); }
 
     /** Forget all state (new program / context switch flush). */
     void reset();
@@ -50,9 +74,15 @@ class BranchPredictor
     std::uint64_t lookups() const { return lookupCount; }
 
   private:
-    std::size_t tableIndex(Addr addr) const;
+    /** Drop the low 2 bits (dense code) and fold. */
+    std::size_t tableIndex(Addr addr) const
+    {
+        return static_cast<std::size_t>((addr >> 2) ^ (addr >> 13)) &
+            idxMask;
+    }
 
     std::vector<std::uint8_t> bimodal; //!< 2-bit saturating counters
+    std::size_t idxMask = 0; //!< bimodal.size() - 1 (power of two)
     CacheModel btb;
     std::uint64_t mispredictCount = 0;
     std::uint64_t lookupCount = 0;

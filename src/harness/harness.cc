@@ -1,11 +1,25 @@
 #include "harness/harness.hh"
 
+#include <cstdlib>
+#include <cstring>
+
 #include "harness/session.hh"
 #include "support/logging.hh"
 #include "support/random.hh"
 
 namespace pca::harness
 {
+
+bool
+defaultDecodeCache()
+{
+    const char *spec = std::getenv("PCA_DECODE");
+    if (!spec || !*spec)
+        return true;
+    return !(std::strcmp(spec, "0") == 0 ||
+             std::strcmp(spec, "off") == 0 ||
+             std::strcmp(spec, "false") == 0);
+}
 
 const char *
 countingModeName(CountingMode m)

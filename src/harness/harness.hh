@@ -45,6 +45,16 @@ namespace detail
 void validateHarnessConfig(const HarnessConfig &cfg);
 } // namespace detail
 
+/**
+ * Process-wide default for HarnessConfig::decodeCache: true unless
+ * the environment sets PCA_DECODE=0/off/false. Because the canned
+ * studies build their HarnessConfigs from factor points (which do not
+ * carry the toggle), this is the one switch that flips the whole
+ * study pipeline to pure per-step interpretation — the lever the
+ * byte-identity tests and the ablation bench pull.
+ */
+bool defaultDecodeCache();
+
 /** One point in the experiment factor space. */
 struct HarnessConfig
 {
@@ -70,6 +80,8 @@ struct HarnessConfig
     bool ioInterrupts = true;
     double preemptProb = 0.015;
     bool fastForward = true;
+    /** Pre-decoded block engine (results identical; see DESIGN §6). */
+    bool decodeCache = defaultDecodeCache();
 
     /**
      * Fault-injection plan for the machines this config boots

@@ -80,6 +80,7 @@ Machine::finalize(Addr user_text_offset)
                /*align=*/1);
     coreImpl->setProgram(&prog);
     coreImpl->setFastForwardEnabled(cfg.fastForward);
+    coreImpl->setDecodeCacheEnabled(cfg.decodeCache);
     const Status attach_status = kernelImpl->attach(*coreImpl);
     pca_assert(attach_status.ok());
     if (!cfg.interruptsEnabled)
@@ -95,6 +96,7 @@ Machine::reboot(std::uint64_t seed)
     cfg.seed = seed;
     coreImpl->reset();
     coreImpl->setFastForwardEnabled(cfg.fastForward);
+    coreImpl->setDecodeCacheEnabled(cfg.decodeCache);
     kernelImpl->reset(seed);
     // Re-seed the injector so runs after reboot(s) replay the same
     // fault schedule as a fresh boot with seed s (the reboot

@@ -41,6 +41,8 @@ struct MachineConfig
     double preemptProb = 0.015;
     /** Loop fast-forwarding in the interpreter (results identical). */
     bool fastForward = true;
+    /** Pre-decoded basic-block execution (results identical). */
+    bool decodeCache = true;
 
     /**
      * Load the perf_event analogue instead of the interface's

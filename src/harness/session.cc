@@ -59,6 +59,7 @@ toMachineConfig(const HarnessConfig &cfg)
     mc.ioInterrupts = cfg.ioInterrupts;
     mc.preemptProb = cfg.preemptProb;
     mc.fastForward = cfg.fastForward;
+    mc.decodeCache = cfg.decodeCache;
     mc.faults = cfg.faults;
     return mc;
 }
@@ -251,6 +252,7 @@ ProgramCache::key(const HarnessConfig &cfg,
     std::snprintf(prob, sizeof prob, "/p%a", cfg.preemptProb);
     k += prob;
     k += cfg.fastForward ? "/ff" : "/noff";
+    k += cfg.decodeCache ? "/dc" : "/nodc";
     // Sessions built under different fault plans simulate different
     // machines; they must never alias (the seed stays excluded — it
     // varies per run, not per program).

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -24,6 +25,8 @@ defaultThreadCount()
 {
     const char *spec = std::getenv("PCA_THREADS");
     if (!spec || !*spec)
+        return hardwareThreads();
+    if (std::strcmp(spec, "auto") == 0)
         return hardwareThreads();
     char *end = nullptr;
     const long v = std::strtol(spec, &end, 10);

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * The pre-decoded basic-block engine's one contract: it must be
+ * invisible. Architectural state, PMU counts, interrupt delivery and
+ * every canned study's CSV must be byte-identical with the decode
+ * cache on and off — serial or parallel, with or without an active
+ * fault plan. Plus unit tests of the decoder itself (flags, escape
+ * classification, straight-line run boundaries).
+ */
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/factor_space.hh"
+#include "core/study.hh"
+#include "harness/harness.hh"
+#include "harness/machine.hh"
+#include "harness/microbench.hh"
+#include "isa/assembler.hh"
+#include "isa/program.hh"
+
+using namespace pca;
+using namespace pca::harness;
+
+// ---------------------------------------------------------------- //
+// Decoder unit tests
+// ---------------------------------------------------------------- //
+
+namespace
+{
+
+/** Build a linked single-block program around the given assembly. */
+isa::Program
+linkLoop(Count iters)
+{
+    isa::Assembler a("main");
+    a.movImm(isa::Reg::Eax, 0);
+    int loop = a.label();
+    a.addImm(isa::Reg::Eax, 1)
+        .cmpImm(isa::Reg::Eax, static_cast<std::int64_t>(iters))
+        .jne(loop)
+        .halt();
+    isa::Program p;
+    p.add(a.take());
+    p.link2(/*user_base=*/0x1000, /*kernel_base=*/0x100000);
+    return p;
+}
+
+} // namespace
+
+TEST(DecodedBlock, FlagsAndEscapes)
+{
+    const isa::Program p = linkLoop(10);
+    const isa::DecodedBlock &db = p.decoded(0);
+    ASSERT_EQ(db.size(), 5u);
+
+    // movImm / addImm / cmpImm: inline, ff-safe, not branches.
+    for (std::size_t i = 0; i < 3; ++i) {
+        EXPECT_FALSE(db.inst(i).escape()) << i;
+        EXPECT_NE(db.inst(i).flags & isa::DiFfSafe, 0) << i;
+        EXPECT_EQ(db.inst(i).flags & isa::DiCondBranch, 0) << i;
+    }
+
+    // jne loop: conditional backward branch with a resolved target.
+    const isa::DecodedInst &jne = db.inst(3);
+    EXPECT_FALSE(jne.escape());
+    EXPECT_NE(jne.flags & isa::DiCondBranch, 0);
+    EXPECT_NE(jne.flags & isa::DiBackwardBranch, 0);
+    EXPECT_EQ(jne.targetIndex, 1);
+
+    // halt: escape (handled by the legacy interpreter).
+    EXPECT_TRUE(db.inst(4).escape());
+}
+
+TEST(DecodedBlock, RunEndsStopAtEscapes)
+{
+    const isa::Program p = linkLoop(10);
+    const isa::DecodedBlock &db = p.decoded(0);
+    // From any of the first four instructions the straight-line run
+    // extends to the halt at index 4; the halt's own run is itself.
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(db.runEnd(i), 4) << i;
+    EXPECT_EQ(db.runEnd(4), 4);
+}
+
+// ---------------------------------------------------------------- //
+// Core-level equality, interrupts live
+// ---------------------------------------------------------------- //
+
+namespace
+{
+
+/** Run the counted loop on a full machine; return a state digest. */
+std::string
+machineDigest(bool decode, Count iters)
+{
+    MachineConfig cfg;
+    cfg.processor = cpu::Processor::PentiumD;
+    cfg.iface = Interface::Pc;
+    cfg.decodeCache = decode;
+    Machine m(cfg);
+    isa::Assembler a("main");
+    a.movImm(isa::Reg::Eax, 0);
+    int loop = a.label();
+    a.addImm(isa::Reg::Eax, 1)
+        .cmpImm(isa::Reg::Eax, static_cast<std::int64_t>(iters))
+        .jne(loop)
+        .halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    const cpu::RunResult r = m.run();
+
+    std::ostringstream os;
+    os << r.userInstr << '/' << r.kernelInstr << '/' << r.cycles
+       << '/' << r.interrupts << '/' << r.fastForwardedIters;
+    for (std::size_t e = 0; e < cpu::numEvents; ++e)
+        for (auto mode : {Mode::User, Mode::Kernel})
+            os << '/'
+               << m.core().rawEvents(static_cast<cpu::EventType>(e),
+                                     mode);
+    return os.str();
+}
+
+} // namespace
+
+TEST(DecodeCacheCore, InterruptDeliveryIdentical)
+{
+    // Interrupts enabled (default): the engine must break dispatch at
+    // exactly the cycles the per-step interpreter polls.
+    EXPECT_EQ(machineDigest(true, 200000),
+              machineDigest(false, 200000));
+}
+
+// ---------------------------------------------------------------- //
+// Measurement equality across decode x fast-forward
+// ---------------------------------------------------------------- //
+
+TEST(DecodeCacheHarness, MeasurementIdenticalAcrossFfSettings)
+{
+    const LoopBench bench(50000);
+    Measurement ref;
+    bool first = true;
+    for (const bool decode : {true, false})
+        for (const bool ff : {true, false}) {
+            HarnessConfig cfg;
+            cfg.processor = cpu::Processor::AthlonX2;
+            cfg.iface = Interface::Pm;
+            cfg.pattern = AccessPattern::ReadRead;
+            cfg.seed = 99;
+            cfg.decodeCache = decode;
+            cfg.fastForward = ff;
+            const Measurement m =
+                MeasurementHarness(cfg).measure(bench);
+            if (first) {
+                ref = m;
+                first = false;
+                continue;
+            }
+            EXPECT_EQ(ref.c0, m.c0);
+            EXPECT_EQ(ref.c1, m.c1);
+            EXPECT_EQ(ref.tsc0, m.tsc0);
+            EXPECT_EQ(ref.tsc1, m.tsc1);
+            EXPECT_EQ(ref.expected, m.expected);
+            EXPECT_EQ(ref.run.userInstr, m.run.userInstr);
+            EXPECT_EQ(ref.run.kernelInstr, m.run.kernelInstr);
+            EXPECT_EQ(ref.run.cycles, m.run.cycles);
+            EXPECT_EQ(ref.run.interrupts, m.run.interrupts);
+        }
+}
+
+// ---------------------------------------------------------------- //
+// Canned studies: byte-identical CSV decode on/off
+// ---------------------------------------------------------------- //
+
+namespace
+{
+
+/**
+ * Run @p study under PCA_DECODE=@p decode and PCA_THREADS=@p threads
+ * (the env switches the whole study pipeline); return its CSV.
+ */
+template <typename StudyFn>
+std::string
+csvWith(bool decode, int threads, StudyFn &&study)
+{
+    setenv("PCA_DECODE", decode ? "1" : "0", 1);
+    setenv("PCA_THREADS", std::to_string(threads).c_str(), 1);
+    const core::DataTable table = study();
+    unsetenv("PCA_THREADS");
+    unsetenv("PCA_DECODE");
+    std::ostringstream os;
+    table.writeCsv(os);
+    return os.str();
+}
+
+} // namespace
+
+TEST(DecodeCacheStudies, NullErrorStudyByteIdentical)
+{
+    const auto points = core::FactorSpace()
+                            .processors({cpu::Processor::Core2Duo,
+                                         cpu::Processor::PentiumD})
+                            .optLevels({2})
+                            .counterCounts({1, 2})
+                            .generate();
+    ASSERT_FALSE(points.empty());
+    core::StudyObsOptions obs;
+    obs.attributionColumns = true;
+    auto study = [&] {
+        return core::runNullErrorStudy(points, 3, 42, obs);
+    };
+    for (const int threads : {1, 4})
+        EXPECT_EQ(csvWith(true, threads, study),
+                  csvWith(false, threads, study))
+            << "threads=" << threads;
+}
+
+TEST(DecodeCacheStudies, DurationStudyByteIdentical)
+{
+    core::DurationStudyOptions opt;
+    opt.processors = {cpu::Processor::Core2Duo,
+                      cpu::Processor::PentiumD};
+    opt.loopSizes = {1, 1000, 5000};
+    opt.runsPerSize = 2;
+    auto study = [&] { return core::runDurationStudy(opt); };
+    for (const int threads : {1, 4})
+        EXPECT_EQ(csvWith(true, threads, study),
+                  csvWith(false, threads, study))
+            << "threads=" << threads;
+}
+
+TEST(DecodeCacheStudies, CycleStudyByteIdentical)
+{
+    core::CycleStudyOptions opt;
+    opt.processors = {cpu::Processor::Core2Duo};
+    opt.loopSizes = {1, 1000};
+    opt.optLevels = {0, 3};
+    opt.runsPerConfig = 2;
+    auto study = [&] { return core::runCycleStudy(opt); };
+    for (const int threads : {1, 4})
+        EXPECT_EQ(csvWith(true, threads, study),
+                  csvWith(false, threads, study))
+            << "threads=" << threads;
+}
+
+TEST(DecodeCacheStudies, FaultPlanByteIdentical)
+{
+    // A live fault plan exercises retries, degraded rows, and
+    // counter-width wraps; the decode cache must be invisible there
+    // too (faults act on the PMU, not on instruction dispatch).
+    setenv("PCA_FAULTS", "seed=7,rate=0.05,width=48", 1);
+    const auto points = core::FactorSpace()
+                            .processors({cpu::Processor::Core2Duo})
+                            .optLevels({2})
+                            .counterCounts({1, 2})
+                            .generate();
+    auto study = [&] {
+        return core::runNullErrorStudy(points, 3, 42,
+                                       core::StudyObsOptions{});
+    };
+    const std::string on = csvWith(true, 4, study);
+    const std::string off = csvWith(false, 4, study);
+    unsetenv("PCA_FAULTS");
+    EXPECT_EQ(on, off);
+}

@@ -167,6 +167,13 @@ TEST(ParallelThreads, EnvControlsDefaultCount)
     EXPECT_EQ(defaultThreadCount(), hardwareThreads());
 }
 
+TEST(ParallelThreads, AutoSpecMeansHardwareConcurrency)
+{
+    setenv("PCA_THREADS", "auto", 1);
+    EXPECT_EQ(defaultThreadCount(), hardwareThreads());
+    unsetenv("PCA_THREADS");
+}
+
 // ---------------------------------------------------------------- //
 // Session / cache equivalence
 // ---------------------------------------------------------------- //
