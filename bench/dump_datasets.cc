@@ -12,6 +12,7 @@
 #include "bench_util.hh"
 #include "core/factor_space.hh"
 #include "core/study.hh"
+#include "obs/hist.hh"
 
 int
 main()
@@ -51,9 +52,25 @@ main()
         write("duration_user.csv", core::runDurationStudy(opt));
     }
     {
+        // The cycle study is the bimodal one (Figures 10-12): export
+        // the full per-point distributions alongside the tidy rows.
         core::CycleStudyOptions opt;
         opt.seed = 3;
+        obs::StudyDistributions dist;
+        opt.obs.distributions = &dist;
         write("cycles.csv", core::runCycleStudy(opt));
+
+        const fs::path csv = dir / "cycles_hist.csv";
+        std::ofstream csv_os(csv);
+        dist.writeCsv(csv_os);
+        std::cout << "  " << csv.string() << "  ("
+                  << dist.points().size() << " points + pooled)\n";
+
+        const fs::path jsonl = dir / "cycles_hist.jsonl";
+        std::ofstream jsonl_os(jsonl);
+        dist.writeJsonl(jsonl_os);
+        std::cout << "  " << jsonl.string()
+                  << "  (full log-bucketed histograms)\n";
     }
 
     std::cout << "\nColumns follow the studies' factor names; plot "

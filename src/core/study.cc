@@ -181,6 +181,21 @@ errorsOf(const std::vector<StatusOr<Measurement>> &ms)
 }
 
 /**
+ * One point's per-run values as a log-bucketed histogram (ok runs
+ * only). @p use_delta selects the cycle study's raw c∆ over the
+ * error studies' c∆ - expected.
+ */
+obs::LogHistogram
+histOf(const std::vector<StatusOr<Measurement>> &ms, bool use_delta)
+{
+    obs::LogHistogram h;
+    for (const auto &m : ms)
+        if (m.ok())
+            h.add(use_delta ? m->delta() : m->error());
+    return h;
+}
+
+/**
  * Row annotation for a factor point whose run failed even after the
  * session's retries: "degraded:<code>:<cause>". Commas and newlines
  * in the cause are flattened so the note stays one CSV cell.
@@ -238,6 +253,14 @@ runNullErrorStudy(const std::vector<FactorPoint> &points,
     // the measured values cannot depend on which worker claims a
     // point; the merge below re-establishes point order, making the
     // emitted table byte-identical for every PCA_THREADS value.
+    const auto label_of = [](const FactorPoint &p) {
+        return detail::cat(cpu::processorCode(p.processor), "/",
+                           harness::interfaceCode(p.iface), "/",
+                           harness::patternName(p.pattern), "/",
+                           harness::countingModeName(p.mode), "/O",
+                           p.optLevel, "/n", p.numCounters, "/tsc=",
+                           p.tsc ? "on" : "off");
+    };
     std::vector<ProgramCache> caches = makeWorkerCaches();
     std::vector<std::vector<StatusOr<Measurement>>> slots(
         points.size());
@@ -254,15 +277,14 @@ runNullErrorStudy(const std::vector<FactorPoint> &points,
                                    point_id * 1000 +
                                        static_cast<std::uint64_t>(r));
                 });
-            observer.pointDone(
-                detail::cat(cpu::processorCode(p.processor), "/",
-                            harness::interfaceCode(p.iface), "/",
-                            harness::patternName(p.pattern), "/",
-                            harness::countingModeName(p.mode), "/O",
-                            p.optLevel, "/n", p.numCounters, "/tsc=",
-                            p.tsc ? "on" : "off"),
-                errorsOf(slots[i]));
+            observer.pointDone(label_of(p), errorsOf(slots[i]));
         });
+
+    // Point-order append => thread-count-independent output.
+    if (obs_opt.distributions)
+        for (std::size_t i = 0; i < points.size(); ++i)
+            obs_opt.distributions->addPoint(
+                label_of(points[i]), histOf(slots[i], false));
 
     for (std::size_t i = 0; i < points.size(); ++i) {
         const FactorPoint &p = points[i];
@@ -320,6 +342,11 @@ runDurationStudy(const DurationStudyOptions &opt)
 
     StudyObserver observer(opt.obs, "duration", pts.size());
     const kernel::FaultPlan fault_plan = kernel::FaultPlan::fromEnv();
+    const auto label_of = [](const Point &p) {
+        return detail::cat(cpu::processorCode(p.proc), "/",
+                           harness::interfaceCode(p.iface),
+                           "/size=", p.size);
+    };
 
     std::vector<ProgramCache> caches = makeWorkerCaches();
     std::vector<std::vector<StatusOr<Measurement>>> slots(pts.size());
@@ -346,12 +373,13 @@ runDurationStudy(const DurationStudyOptions &opt)
                         opt.seed,
                         base + static_cast<std::uint64_t>(r) + 1);
                 });
-            observer.pointDone(
-                detail::cat(cpu::processorCode(p.proc), "/",
-                            harness::interfaceCode(p.iface),
-                            "/size=", p.size),
-                errorsOf(slots[i]));
+            observer.pointDone(label_of(p), errorsOf(slots[i]));
         });
+
+    if (opt.obs.distributions)
+        for (std::size_t i = 0; i < pts.size(); ++i)
+            opt.obs.distributions->addPoint(label_of(pts[i]),
+                                            histOf(slots[i], false));
 
     for (std::size_t i = 0; i < pts.size(); ++i) {
         const Point &p = pts[i];
@@ -432,6 +460,15 @@ runCycleStudy(const CycleStudyOptions &opt)
                             {proc, iface, pat, opt_level, size});
             }
 
+    // The cycle table has no attribution columns (it measures raw
+    // c∆, not error); the observer's other channels apply as-is.
+    StudyObserver observer(opt.obs, "cycle", pts.size());
+    const auto label_of = [](const Point &p) {
+        return detail::cat(cpu::processorCode(p.proc), "/",
+                           harness::interfaceCode(p.iface), "/",
+                           harness::patternName(p.pat), "/O",
+                           p.optLevel, "/size=", p.size);
+    };
     const kernel::FaultPlan fault_plan = kernel::FaultPlan::fromEnv();
     std::vector<ProgramCache> caches = makeWorkerCaches();
     std::vector<std::vector<StatusOr<Measurement>>> slots(pts.size());
@@ -458,7 +495,18 @@ runCycleStudy(const CycleStudyOptions &opt)
                         opt.seed,
                         base + static_cast<std::uint64_t>(r) + 1);
                 });
+            std::vector<double> deltas;
+            for (const auto &m : slots[i])
+                if (m.ok())
+                    deltas.push_back(
+                        static_cast<double>(m->delta()));
+            observer.pointDone(label_of(p), deltas);
         });
+
+    if (opt.obs.distributions)
+        for (std::size_t i = 0; i < pts.size(); ++i)
+            opt.obs.distributions->addPoint(label_of(pts[i]),
+                                            histOf(slots[i], true));
 
     for (std::size_t i = 0; i < pts.size(); ++i) {
         const Point &p = pts[i];
@@ -481,6 +529,7 @@ runCycleStudy(const CycleStudyOptions &opt)
             }
         }
     }
+    observer.finish();
     return table;
 }
 

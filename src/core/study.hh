@@ -14,6 +14,7 @@
 
 #include "core/datatable.hh"
 #include "core/factor_space.hh"
+#include "obs/hist.hh"
 #include "stats/regression.hh"
 
 namespace pca::core
@@ -41,8 +42,19 @@ struct StudyObsOptions
     bool metrics = false;
 
     /**
+     * Collect the full per-point distribution of the study's value
+     * (error or cycles) into log-bucketed histograms — one per
+     * factor point plus the pooled total, appended in point order so
+     * the output is byte-identical for every thread count. Null (the
+     * default) skips collection entirely. Owned by the caller; only
+     * ok runs contribute (degraded rows carry no value).
+     */
+    obs::StudyDistributions *distributions = nullptr;
+
+    /**
      * Parse PCA_STUDY_OBS: "all", "none"/unset, or a comma list of
-     * "attr", "progress", "metrics".
+     * "attr", "progress", "metrics". (Distribution sinks cannot come
+     * from the environment: they need an owner.)
      */
     static StudyObsOptions fromEnv();
 };
@@ -107,6 +119,7 @@ struct CycleStudyOptions
     std::vector<int> optLevels = {0, 1, 2, 3};
     int runsPerConfig = 2;
     std::uint64_t seed = 42;
+    StudyObsOptions obs;
 };
 
 /**

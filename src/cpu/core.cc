@@ -1,5 +1,6 @@
 #include "cpu/core.hh"
 
+#include "obs/profile.hh"
 #include "obs/spc.hh"
 #include "obs/trace.hh"
 #include "support/logging.hh"
@@ -175,11 +176,14 @@ Core::run(CodePtr entry, Count max_instr)
             if (vec >= 0)
                 deliverInterrupt(vec);
         }
-        if (decodeOn && !pmuUnit.samplingActive()) {
+        if (decodeOn && !pmuUnit.samplingActive() &&
+            prof == nullptr) {
             steps += stepDecodedBlock();
         } else {
-            // Sampling sessions force pure interpretation: overflow
-            // must be observed at the exact retiring instruction.
+            // Sampling sessions and an attached profiler force pure
+            // interpretation: overflow (or the retired-PC ground
+            // truth) must be observed at the exact retiring
+            // instruction.
             step();
             ++steps;
         }
@@ -216,6 +220,7 @@ Core::step()
 
     const Mode mode_at_fetch = curMode;
     const int prev_index = pc.index;
+    const Cycles cycles_at_fetch = cycleCount;
     fetchCosts(in);
 
     pcRedirected = false;
@@ -229,6 +234,8 @@ Core::step()
     pmuUnit.count(EventType::InstrRetired, mode_at_fetch, 1);
     if (mode_at_fetch == Mode::Kernel)
         PCA_SPC_INC(KernelInstrs);
+    else if (prof != nullptr)
+        prof->onUserRetire(in.addr, cycleCount - cycles_at_fetch);
 
     if (!pcRedirected)
         ++pc.index;
@@ -813,9 +820,10 @@ Core::maybeFastForwardKeyed(std::uint64_t key, const Inst &branch,
     LoopFf &lf = loops[key];
     if (lf.unsafe)
         return;
-    // Bulk-applying counts would skip overflow thresholds: sampling
-    // sessions force pure interpretation.
-    if (pmuUnit.samplingActive())
+    // Bulk-applying counts would skip overflow thresholds (and rob
+    // the profiler of per-retire ground truth): sampling sessions
+    // and profiled runs force pure interpretation.
+    if (pmuUnit.samplingActive() || prof != nullptr)
         return;
     if (poisonSinceBackward) {
         lf.phase = 0;
@@ -948,6 +956,24 @@ Core::maybeFastForwardKeyed(std::uint64_t key, const Inst &branch,
     ffIters += ku;
     PCA_SPC_ADD(FastForwardIters, ku);
     snapshot(lf); // head reflects post-bulk state
+}
+
+std::vector<Addr>
+Core::callChainAddrs() const
+{
+    std::vector<Addr> out;
+    out.reserve(callStack.size());
+    for (const CodePtr &ret : callStack) {
+        // Return site = instruction after the call; a call as the
+        // last instruction of a block has no successor to name, so
+        // fall back to the call itself.
+        const isa::CodeBlock &blk = program->block(ret.block);
+        const std::size_t idx = static_cast<std::size_t>(ret.index);
+        out.push_back(idx < blk.size()
+                          ? blk.inst(idx).addr
+                          : blk.inst(blk.size() - 1).addr);
+    }
+    return out;
 }
 
 void

@@ -24,6 +24,11 @@
 #include "isa/program.hh"
 #include "support/types.hh"
 
+namespace pca::obs
+{
+class Profiler;
+} // namespace pca::obs
+
 namespace pca::cpu
 {
 
@@ -104,6 +109,23 @@ class Core : public isa::CpuContext
      * measured by the ablation bench).
      */
     void setDecodeCacheEnabled(bool on) { decodeOn = on; }
+
+    /**
+     * Attach the sampling profiler (null detaches, the default).
+     * While attached the core reports every retired user instruction
+     * to it, which requires exact per-retire interpretation: the
+     * decoded-block engine and loop fast-forward are bypassed, both
+     * of which are result-invisible (asserted by tests), so runs
+     * with and without a profiler retire identical instruction
+     * streams — zero observer effect by construction.
+     */
+    void setProfiler(obs::Profiler *p) { prof = p; }
+
+    /**
+     * Addresses of the return sites on the user call stack,
+     * outermost first (for the profiler's collapsed stacks).
+     */
+    std::vector<Addr> callChainAddrs() const;
 
     /** CR4.PCE: whether RDPMC is legal in user mode. */
     void allowUserRdpmc(bool allow) { userRdpmcOk = allow; }
@@ -220,6 +242,7 @@ class Core : public isa::CpuContext
     CacheModel dtlb;
 
     const isa::Program *program = nullptr;
+    obs::Profiler *prof = nullptr;
     isa::CodePtr pc;
     isa::CodePtr syscallEntry;
     isa::CodePtr interruptEntry;

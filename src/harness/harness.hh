@@ -89,6 +89,14 @@ struct HarnessConfig
      * retry budget (FaultPlan::maxRetries).
      */
     kernel::FaultPlan faults;
+
+    /**
+     * Sampling-profiler configuration for the machines this config
+     * boots. Defaults from PCA_PROFILE so the canned studies can be
+     * profiled without code changes; profiling never changes any
+     * measured value (asserted by tests/test_profile.cc).
+     */
+    obs::ProfileConfig profile = obs::ProfileConfig::fromEnv();
 };
 
 /** Result of one measurement run. */

@@ -13,8 +13,11 @@ Machine::Machine(const MachineConfig &cfg)
     PCA_SPC_INC(MachineBoots);
     coreImpl = std::make_unique<cpu::Core>(archRef);
     kernelImpl = std::make_unique<kernel::Kernel>(
-        archRef, cfg.seed, cfg.ioInterrupts);
+        archRef, cfg.seed, cfg.ioInterrupts,
+        cfg.timerPeriodOverride);
     kernelImpl->setPreemptProbability(cfg.preemptProb);
+    if (cfg.profile.enabled)
+        prof = std::make_unique<obs::Profiler>(cfg.profile);
 
     // Load exactly one extension, mirroring the paper's two patched
     // kernels (a perfctr kernel and a perfmon2 kernel) — or the
@@ -85,6 +88,21 @@ Machine::finalize(Addr user_text_offset)
     pca_assert(attach_status.ok());
     if (!cfg.interruptsEnabled)
         coreImpl->setInterruptClient(nullptr);
+    if (prof) {
+        // Every linked code block is one symbol — the function
+        // granularity the assembler works at.
+        std::vector<obs::ProfileSymbol> symbols;
+        symbols.reserve(prog.blockCount());
+        for (std::size_t b = 0; b < prog.blockCount(); ++b) {
+            const isa::CodeBlock &blk =
+                prog.block(static_cast<int>(b));
+            symbols.push_back({blk.name(), blk.baseAddr(),
+                               static_cast<Count>(blk.bytes())});
+        }
+        prof->setSymbols(std::move(symbols));
+        coreImpl->setProfiler(prof.get());
+        kernelImpl->setProfiler(prof.get());
+    }
     finalized = true;
 }
 
@@ -104,6 +122,8 @@ Machine::reboot(std::uint64_t seed)
     // survive Core::reset by design — they model hardware, not state.
     if (injector)
         injector->reset(seed);
+    if (prof)
+        prof->reset();
     // Core::reset keeps the program, trap entries, and interrupt
     // client installed by finalize(); only re-apply the
     // interrupts-off override.

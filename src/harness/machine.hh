@@ -19,6 +19,7 @@
 #include "kernel/perfctr_mod.hh"
 #include "kernel/perfevent_mod.hh"
 #include "kernel/perfmon_mod.hh"
+#include "obs/profile.hh"
 #include "perfctr/libperfctr.hh"
 #include "perfevent/libperf.hh"
 #include "perfmon/libpfm.hh"
@@ -59,6 +60,24 @@ struct MachineConfig
      * interrupt queue, and the PMU read path.
      */
     kernel::FaultPlan faults;
+
+    /**
+     * Sampling-profiler configuration (default: inert). When enabled
+     * the machine boots an obs::Profiler wired into the core's
+     * retire path and the kernel's timer tick; the run itself is
+     * unperturbed (samples ride existing interrupts and cost no
+     * simulated cycles), but execution drops to exact per-step
+     * interpretation.
+     */
+    obs::ProfileConfig profile;
+
+    /**
+     * Nonzero: cycles between timer ticks instead of the processor's
+     * HZ=1000 period. A profiling study's lever for sample density
+     * on short benchmarks; changes the simulated machine, so it is
+     * deliberately absent from HarnessConfig.
+     */
+    Cycles timerPeriodOverride = 0;
 };
 
 /**
@@ -113,6 +132,9 @@ class Machine
     /** The machine's fault injector (null when the plan is inert). */
     kernel::FaultInjector *faultInjector() { return injector.get(); }
 
+    /** The machine's profiler (null when profiling is disabled). */
+    obs::Profiler *profiler() { return prof.get(); }
+
     /**
      * Re-boot the machine for another run without re-assembling or
      * re-linking: core, kernel, and module state return to the
@@ -138,6 +160,7 @@ class Machine
     std::unique_ptr<perfmon::LibPfm> pmLib;
     std::unique_ptr<perfevent::LibPerf> peLib;
     std::unique_ptr<kernel::FaultInjector> injector;
+    std::unique_ptr<obs::Profiler> prof;
     isa::Program prog;
     int kernelBlocks = 0;
     bool finalized = false;

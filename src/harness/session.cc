@@ -61,6 +61,7 @@ toMachineConfig(const HarnessConfig &cfg)
     mc.fastForward = cfg.fastForward;
     mc.decodeCache = cfg.decodeCache;
     mc.faults = cfg.faults;
+    mc.profile = cfg.profile;
     return mc;
 }
 
@@ -258,6 +259,10 @@ ProgramCache::key(const HarnessConfig &cfg,
     // varies per run, not per program).
     k += '/';
     k += cfg.faults.fingerprint();
+    // A profiled session carries per-machine profiler state; it must
+    // never alias an unprofiled one (or one with another skid model).
+    k += "/prof:";
+    k += cfg.profile.fingerprint();
     k += '/';
     k += bench.cacheKey();
     return k;

@@ -2,6 +2,7 @@
 
 #include "isa/assembler.hh"
 #include "kernel/perfevent_mod.hh"
+#include "obs/profile.hh"
 #include "obs/spc.hh"
 #include "obs/trace.hh"
 #include "support/logging.hh"
@@ -26,10 +27,12 @@ ioMeanCycles(const cpu::MicroArch &arch)
 } // namespace
 
 Kernel::Kernel(const cpu::MicroArch &arch, std::uint64_t seed,
-               bool enable_io_interrupts)
+               bool enable_io_interrupts,
+               Cycles timer_period_override)
     : archRef(arch),
       schedRng(mixSeed(seed, 0x5eedULL)),
-      intCtrl(arch.timerPeriodCycles(),
+      intCtrl(timer_period_override != 0 ? timer_period_override
+                                         : arch.timerPeriodCycles(),
               enable_io_interrupts ? ioMeanCycles(arch) : 0,
               mixSeed(seed, 0x1234ULL))
 {
@@ -120,6 +123,9 @@ Kernel::decidePreemption(CpuContext &ctx)
     // Per-tick module bookkeeping (e.g. perfmon2 event-set
     // multiplex switching) happens in the tick path.
     pca_assert(attachedCore);
+    if (profiler != nullptr)
+        profiler->onTimerTick(attachedCore->lastInterruptedAddr(),
+                              attachedCore->callChainAddrs());
     for (KernelModule *m : modules)
         m->onTick(*attachedCore);
     if (schedRng.nextBool(preemptProb)) {

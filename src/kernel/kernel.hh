@@ -65,9 +65,13 @@ class Kernel
      * @param arch processor descriptor (scales kernel path lengths)
      * @param seed RNG stream for interrupt phases and scheduling
      * @param enable_io_interrupts model rare disk/net interrupts
+     * @param timer_period_override nonzero: cycles between timer
+     *        ticks instead of the arch's HZ=1000 period (a raised
+     *        tick rate for sampling-profiler studies)
      */
     Kernel(const cpu::MicroArch &arch, std::uint64_t seed,
-           bool enable_io_interrupts = true);
+           bool enable_io_interrupts = true,
+           Cycles timer_period_override = 0);
 
     /**
      * Register a kernel extension (before buildInto). Fails with
@@ -118,6 +122,15 @@ class Kernel
      */
     void setFaultInjector(FaultInjector *injector);
 
+    /**
+     * Attach the sampling profiler to the timer-tick path (null
+     * detaches). On every tick the kernel hands it the interrupted
+     * user PC and call chain — the simulated analogue of a sampling
+     * interrupt handler reading the trap frame. The profiler is
+     * owned by the Machine and outlives the kernel.
+     */
+    void setProfiler(obs::Profiler *p) { profiler = p; }
+
   private:
     void dispatchSyscall(isa::CpuContext &ctx);
     void dispatchInterrupt(isa::CpuContext &ctx);
@@ -134,6 +147,7 @@ class Kernel
     cpu::Core *attachedCore = nullptr;
     isa::Program *builtProgram = nullptr;
     FaultInjector *faults = nullptr;
+    obs::Profiler *profiler = nullptr;
     double preemptProb = 0.015;
     Count ctxswCount = 0;
     bool built = false;

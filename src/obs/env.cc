@@ -1,10 +1,15 @@
 #include "obs/env.hh"
 
+#include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 
+#include "obs/snapshot.hh"
 #include "obs/spc.hh"
 #include "obs/trace.hh"
 #include "support/logging.hh"
@@ -17,9 +22,28 @@ namespace
 
 std::string tracePath;
 
+// Live snapshot publisher state (PCA_SPC_SNAPSHOT).
+std::unique_ptr<SpcSnapshotWriter> snapWriter;
+std::unique_ptr<std::thread> snapThread;
+std::atomic<bool> snapStop{false};
+
+void
+stopSnapshotPublisher()
+{
+    if (!snapWriter)
+        return;
+    snapStop.store(true, std::memory_order_relaxed);
+    if (snapThread && snapThread->joinable())
+        snapThread->join();
+    snapThread.reset();
+    snapWriter->publish(); // final values
+    snapWriter.reset();
+}
+
 void
 dumpAtExit()
 {
+    stopSnapshotPublisher();
     if (spcAnyEnabled())
         spcDump(std::cerr);
     if (!tracePath.empty() && tracer().enabled()) {
@@ -33,6 +57,36 @@ dumpAtExit()
         std::cerr << "info: PCA_TRACE: wrote " << tracer().size()
                   << " events to " << tracePath << '\n';
     }
+}
+
+void
+startSnapshotPublisher(const std::string &spec)
+{
+    std::string path = spec;
+    long period_ms = 100;
+    if (const auto comma = spec.rfind(','); comma != std::string::npos) {
+        path = spec.substr(0, comma);
+        period_ms = std::strtol(spec.c_str() + comma + 1, nullptr, 10);
+        if (period_ms <= 0)
+            period_ms = 100;
+    }
+    if (path.empty()) {
+        pca_warn("PCA_SPC_SNAPSHOT: empty path, ignored");
+        return;
+    }
+    // A snapshot of all-disabled counters is useless: default to
+    // attaching everything when PCA_SPC did not pick a set.
+    if (!spcAnyEnabled())
+        spcAttach("all");
+    snapWriter = std::make_unique<SpcSnapshotWriter>(path, numSpcs);
+    snapWriter->publish();
+    snapThread = std::make_unique<std::thread>([period_ms] {
+        while (!snapStop.load(std::memory_order_relaxed)) {
+            snapWriter->publish();
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(period_ms));
+        }
+    });
 }
 
 } // namespace
@@ -55,6 +109,11 @@ initObservabilityFromEnv()
         path && *path != '\0') {
         tracePath = path;
         tracer().setEnabled(true);
+        armed = true;
+    }
+    if (const char *spec = std::getenv("PCA_SPC_SNAPSHOT");
+        spec && *spec != '\0') {
+        startSnapshotPublisher(spec);
         armed = true;
     }
     if (armed)

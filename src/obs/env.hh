@@ -8,6 +8,11 @@
  *       enabled set is dumped to stderr at process exit.
  *   PCA_TRACE=<file>  enable the virtual-time tracer; the Chrome
  *       trace JSON is written to <file> at process exit.
+ *   PCA_SPC_SNAPSHOT=<file>[,<period_ms>]  publish the SPC counter
+ *       block to a live mmap'd snapshot file (obs/snapshot.hh) every
+ *       period_ms (default 100) from a background thread, plus a
+ *       final publish at process exit. Implies enabling all SPCs
+ *       unless PCA_SPC chose a set.
  */
 
 #ifndef PCA_OBS_ENV_HH

@@ -1,0 +1,241 @@
+#include "obs/hist.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "support/logging.hh"
+
+namespace pca::obs
+{
+
+namespace
+{
+
+/** Shortest round-trippable decimal for CSV/JSON cells. */
+std::string
+num(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.12g", v);
+    return buf;
+}
+
+} // namespace
+
+std::size_t
+LogHistogram::magIndex(Count mag)
+{
+    pca_assert(mag >= 1);
+    const unsigned b =
+        63u - static_cast<unsigned>(__builtin_clzll(mag));
+    const unsigned shift = b <= subBits ? 0 : b - subBits;
+    return static_cast<std::size_t>(shift) * sub +
+           static_cast<std::size_t>(mag >> shift);
+}
+
+double
+LogHistogram::indexLo(std::size_t idx)
+{
+    if (idx < 2 * sub)
+        return static_cast<double>(idx);
+    const std::size_t shift = idx / sub - 1;
+    const std::size_t base = idx % sub + sub;
+    return std::ldexp(static_cast<double>(base),
+                      static_cast<int>(shift));
+}
+
+double
+LogHistogram::indexHi(std::size_t idx)
+{
+    if (idx < 2 * sub)
+        return static_cast<double>(idx + 1);
+    const std::size_t shift = idx / sub - 1;
+    const std::size_t base = idx % sub + sub;
+    return std::ldexp(static_cast<double>(base + 1),
+                      static_cast<int>(shift));
+}
+
+void
+LogHistogram::addN(SCount v, Count n)
+{
+    if (n == 0)
+        return;
+    if (totalCount == 0) {
+        minVal = maxVal = v;
+    } else {
+        minVal = std::min(minVal, v);
+        maxVal = std::max(maxVal, v);
+    }
+    totalCount += n;
+    sumVal += static_cast<double>(v) * static_cast<double>(n);
+    if (v == 0) {
+        zeroCount += n;
+        return;
+    }
+    // Magnitude without overflow at SCount min.
+    const Count mag = v > 0
+        ? static_cast<Count>(v)
+        : static_cast<Count>(-(v + 1)) + 1;
+    std::vector<Count> &side = v > 0 ? pos : neg;
+    const std::size_t idx = magIndex(mag);
+    if (side.size() <= idx)
+        side.resize(idx + 1, 0);
+    side[idx] += n;
+}
+
+double
+LogHistogram::mean() const
+{
+    return totalCount == 0
+        ? 0.0
+        : sumVal / static_cast<double>(totalCount);
+}
+
+void
+LogHistogram::merge(const LogHistogram &other)
+{
+    if (other.totalCount == 0)
+        return;
+    if (totalCount == 0) {
+        minVal = other.minVal;
+        maxVal = other.maxVal;
+    } else {
+        minVal = std::min(minVal, other.minVal);
+        maxVal = std::max(maxVal, other.maxVal);
+    }
+    totalCount += other.totalCount;
+    sumVal += other.sumVal;
+    zeroCount += other.zeroCount;
+    if (pos.size() < other.pos.size())
+        pos.resize(other.pos.size(), 0);
+    for (std::size_t i = 0; i < other.pos.size(); ++i)
+        pos[i] += other.pos[i];
+    if (neg.size() < other.neg.size())
+        neg.resize(other.neg.size(), 0);
+    for (std::size_t i = 0; i < other.neg.size(); ++i)
+        neg[i] += other.neg[i];
+}
+
+void
+LogHistogram::clear()
+{
+    pos.clear();
+    neg.clear();
+    zeroCount = 0;
+    totalCount = 0;
+    minVal = maxVal = 0;
+    sumVal = 0;
+}
+
+std::vector<LogHistogram::Bucket>
+LogHistogram::buckets() const
+{
+    std::vector<Bucket> out;
+    // A negative magnitude bucket [mlo, mhi) holds integer values
+    // [-mhi+1, -mlo]; shift by one so every bucket is [lo, hi).
+    for (std::size_t i = neg.size(); i-- > 0;)
+        if (neg[i] != 0)
+            out.push_back(
+                {-indexHi(i) + 1, -indexLo(i) + 1, neg[i]});
+    if (zeroCount != 0)
+        out.push_back({0.0, 1.0, zeroCount});
+    for (std::size_t i = 0; i < pos.size(); ++i)
+        if (pos[i] != 0)
+            out.push_back({indexLo(i), indexHi(i), pos[i]});
+    return out;
+}
+
+double
+LogHistogram::quantile(double q) const
+{
+    if (totalCount == 0)
+        return 0.0;
+    q = std::min(1.0, std::max(0.0, q));
+    // Rank of the target observation, 1-based.
+    Count rank = static_cast<Count>(
+        std::ceil(q * static_cast<double>(totalCount)));
+    rank = std::max<Count>(1, std::min(rank, totalCount));
+    Count seen = 0;
+    for (const Bucket &b : buckets()) {
+        seen += b.count;
+        if (seen >= rank) {
+            // Exact unit-wide buckets report their value; wider
+            // buckets their midpoint — clamped to the exactly
+            // tracked [min, max], so the extreme buckets' spread
+            // never pushes a quantile outside the observed range.
+            double v = b.hi - b.lo <= 1.0 ? b.lo
+                                          : (b.lo + b.hi) / 2.0;
+            v = std::max(v, static_cast<double>(minVal));
+            return std::min(v, static_cast<double>(maxVal));
+        }
+    }
+    return static_cast<double>(maxVal);
+}
+
+void
+LogHistogram::writeJson(std::ostream &os) const
+{
+    os << "{\"count\":" << totalCount
+       << ",\"min\":" << minVal
+       << ",\"max\":" << maxVal
+       << ",\"mean\":" << num(mean())
+       << ",\"p50\":" << num(quantile(0.5))
+       << ",\"buckets\":[";
+    bool first = true;
+    for (const Bucket &b : buckets()) {
+        if (!first)
+            os << ',';
+        first = false;
+        os << '[' << num(b.lo) << ',' << b.count << ']';
+    }
+    os << "]}";
+}
+
+void
+StudyDistributions::addPoint(const std::string &label,
+                             const LogHistogram &h)
+{
+    pts.push_back({label, h});
+    all.merge(h);
+}
+
+namespace
+{
+
+void
+csvRow(std::ostream &os, const std::string &label,
+       const LogHistogram &h)
+{
+    os << label << ',' << h.total() << ',' << h.min() << ','
+       << num(h.mean());
+    for (double q : {0.05, 0.25, 0.5, 0.75, 0.95, 0.99})
+        os << ',' << num(h.quantile(q));
+    os << ',' << h.max() << '\n';
+}
+
+} // namespace
+
+void
+StudyDistributions::writeCsv(std::ostream &os) const
+{
+    os << "point,count,min,mean,p05,p25,p50,p75,p95,p99,max\n";
+    for (const Point &p : pts)
+        csvRow(os, p.label, p.hist);
+    csvRow(os, "all", all);
+}
+
+void
+StudyDistributions::writeJsonl(std::ostream &os) const
+{
+    for (const Point &p : pts) {
+        os << "{\"point\":\"" << p.label << "\",\"hist\":";
+        p.hist.writeJson(os);
+        os << "}\n";
+    }
+    os << "{\"point\":\"all\",\"hist\":";
+    all.writeJson(os);
+    os << "}\n";
+}
+
+} // namespace pca::obs

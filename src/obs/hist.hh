@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Streaming log-bucketed histogram (HDR-histogram-style) for
+ * per-run cycle and error distributions. The canned studies today
+ * collapse each factor point into per-run scalar rows; Figures 10-12
+ * of the paper are *bimodal*, so a mean (or even per-run values
+ * without enough runs) hides the shape. A LogHistogram records every
+ * observation into sign x octave x subbucket counters: constant
+ * memory, exact counts, bounded (~3%) relative value error per
+ * bucket, and a deterministic merge (counter addition), which is what
+ * lets the parallel study engine combine per-point histograms in
+ * point order independent of the worker partition.
+ */
+
+#ifndef PCA_OBS_HIST_HH
+#define PCA_OBS_HIST_HH
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "support/types.hh"
+
+namespace pca::obs
+{
+
+/**
+ * Histogram over signed 64-bit values. Buckets: one exact zero
+ * bucket, plus per-sign logarithmic buckets with subBits linear
+ * subdivisions per octave (values below 2^subBits are exact).
+ */
+class LogHistogram
+{
+  public:
+    /** Linear subdivisions per octave: 2^subBits. */
+    static constexpr unsigned subBits = 4;
+
+    void add(SCount v) { addN(v, 1); }
+    void addN(SCount v, Count n);
+
+    Count total() const { return totalCount; }
+    SCount min() const { return minVal; }
+    SCount max() const { return maxVal; }
+    double mean() const;
+
+    /**
+     * Value at quantile @p q in [0, 1]: the representative value of
+     * the bucket holding the ceil(q * total)-th smallest
+     * observation. Exact for |v| < 2^subBits; within one subbucket
+     * otherwise. Returns 0 on an empty histogram.
+     */
+    double quantile(double q) const;
+
+    /** Counter-wise addition; associative and order-independent. */
+    void merge(const LogHistogram &other);
+
+    void clear();
+
+    /** Non-empty buckets in ascending value order. */
+    struct Bucket
+    {
+        double lo, hi; //!< value range [lo, hi)
+        Count count;
+    };
+    std::vector<Bucket> buckets() const;
+
+    /**
+     * One JSON object (no trailing newline):
+     * {"count":..,"min":..,"max":..,"mean":..,"p50":..,
+     *  "buckets":[[lo,count],...]}.
+     */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    static constexpr std::size_t sub = std::size_t{1} << subBits;
+    // Octaves above the exact range: msb positions subBits..63.
+    static constexpr std::size_t slots = (64 - subBits) * sub;
+
+    static std::size_t magIndex(Count mag);
+    static double indexLo(std::size_t idx);
+    static double indexHi(std::size_t idx);
+
+    // Lazily sized so an unused histogram costs ~nothing.
+    std::vector<Count> pos, neg;
+    Count zeroCount = 0;
+    Count totalCount = 0;
+    SCount minVal = 0, maxVal = 0;
+    double sumVal = 0;
+};
+
+/**
+ * Per-point distribution collector for a study: one labelled
+ * histogram per factor point plus the pooled total. The studies
+ * append points in point order after the parallel loop, so the
+ * emitted CSV/JSONL is byte-identical for every thread count.
+ */
+class StudyDistributions
+{
+  public:
+    struct Point
+    {
+        std::string label;
+        LogHistogram hist;
+    };
+
+    void addPoint(const std::string &label, const LogHistogram &h);
+
+    const std::vector<Point> &points() const { return pts; }
+    const LogHistogram &pooled() const { return all; }
+
+    /**
+     * CSV schema (one row per point + one "all" row):
+     * point,count,min,mean,p05,p25,p50,p75,p95,p99,max
+     */
+    void writeCsv(std::ostream &os) const;
+
+    /** One JSON object per line: {"point":label,<LogHistogram>}. */
+    void writeJsonl(std::ostream &os) const;
+
+  private:
+    std::vector<Point> pts;
+    LogHistogram all;
+};
+
+} // namespace pca::obs
+
+#endif // PCA_OBS_HIST_HH

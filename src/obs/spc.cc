@@ -39,6 +39,8 @@ spcName(Spc c)
       case Spc::FaultsInjected: return "faults_injected";
       case Spc::SessionRetries: return "session_retries";
       case Spc::DegradedPoints: return "degraded_points";
+      case Spc::ProfileSamples: return "profile_samples";
+      case Spc::ProfileSkidInstrs: return "profile_skid_instrs";
       case Spc::NumSpcs: break;
     }
     return "?";

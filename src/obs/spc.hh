@@ -46,6 +46,8 @@ enum class Spc : std::uint8_t
     FaultsInjected,     //!< faults the FaultInjector fired
     SessionRetries,     //!< transient-fault retries spent by sessions
     DegradedPoints,     //!< study rows recorded as degraded
+    ProfileSamples,     //!< sampling-profiler samples latched
+    ProfileSkidInstrs,  //!< user instructions traversed as skid
     NumSpcs,
 };
 
