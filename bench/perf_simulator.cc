@@ -12,10 +12,11 @@
  * speedup, and the cache hit rate to BENCH_studies.json.
  *
  * `perf_simulator --interp [output.json]` times the interpreter on
- * the fig07/fig09 loop-sweep workload across decode-cache x
- * fast-forward settings, asserts the decode cache is architecturally
- * invisible, and writes instr/sec, points/sec, and the decode
- * speedup to BENCH_interpreter.json.
+ * the fig07/fig09 loop-sweep workload across execution tiers (legacy
+ * step, decoded blocks, superblock traces) x fast-forward settings,
+ * asserts every tier is architecturally invisible, and writes per-cell
+ * median/min/max seconds, instr/sec, points/sec, the tier speedups,
+ * and the per-reason decoded-escape SPCs to BENCH_interpreter.json.
  *
  * `perf_simulator --counters [file]` attaches every SPC, runs a
  * small profiled workload, round-trips the counters through the
@@ -35,6 +36,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -48,6 +50,7 @@
 
 #include "core/factor_space.hh"
 #include "core/study.hh"
+#include "cpu/trace.hh"
 #include "harness/harness.hh"
 #include "harness/microbench.hh"
 #include "harness/session.hh"
@@ -241,12 +244,32 @@ secondsSince(std::chrono::steady_clock::time_point t0)
 struct InterpCell
 {
     bool decode = false;
+    bool trace = false;  //!< superblock/trace tier (needs decode)
     bool fastForward = false;
     int batch = 1;       //!< reboot+run iterations per timed rep
-    double sec = 0.0;    //!< per-run seconds (batch amortized)
+    std::vector<double> secs; //!< per-rep seconds (batch amortized)
+    double sec = 0.0;    //!< median across reps
+    double secMin = 0.0; //!< spread across reps
+    double secMax = 0.0;
     Count instr = 0;     //!< simulated instructions retired per run
     double ips = 0.0;    //!< simulated instructions per wall second
     std::string digest;  //!< architectural + event fingerprint
+
+    const char *tierName() const
+    {
+        return !decode ? "legacy" : trace ? "trace" : "block";
+    }
+
+    /** Fold the recorded reps into median and min/max spread. */
+    void aggregate()
+    {
+        std::vector<double> s = secs;
+        std::sort(s.begin(), s.end());
+        sec = s.empty() ? 0.0 : s[s.size() / 2];
+        secMin = s.empty() ? 0.0 : s.front();
+        secMax = s.empty() ? 0.0 : s.back();
+        ips = sec > 0 ? static_cast<double>(instr) / sec : 0.0;
+    }
 };
 
 /**
@@ -293,6 +316,7 @@ runLoopOnce(InterpCell &cell, Count iters)
     cfg.interruptsEnabled = false;
     cfg.fastForward = cell.fastForward;
     cfg.decodeCache = cell.decode;
+    cfg.traceTier = cell.trace;
     Machine m(cfg);
     Assembler a("main");
     a.movImm(Reg::Eax, 0);
@@ -312,15 +336,82 @@ runLoopOnce(InterpCell &cell, Count iters)
     }
     const double sec =
         secondsSince(t0) / static_cast<double>(cell.batch);
-    // Best-of-reps: the reps are interleaved across cells, so taking
-    // each cell's fastest run cancels machine-load noise that a
-    // consecutive-rep average would fold into whichever cell it hit.
-    if (cell.sec == 0.0 || sec < cell.sec) {
-        cell.sec = sec;
-        cell.instr = res.userInstr + res.kernelInstr;
-    }
+    // Record every rep; the reported number is the median (with the
+    // min/max spread alongside), not best-of-reps — a single lucky
+    // rep on a noisy shared machine used to define the whole cell.
+    cell.secs.push_back(sec);
+    cell.instr = res.userInstr + res.kernelInstr;
     if (cell.digest.empty())
         cell.digest = archDigest(res, m);
+}
+
+/** Per-reason decoded-engine escape counts for one tier setting. */
+struct EscapeCounts
+{
+    Count callret = 0;
+    Count timeread = 0;
+    Count syscall = 0;
+    Count other = 0;
+    Count formed = 0;
+    Count exits = 0;
+};
+
+/**
+ * Count decoded-engine escapes on a fold-heavy loop (a call+ret and
+ * an rdtsc every iteration) with the trace tier on or off. With the
+ * tier off every call/ret/rdtsc is a legacy-interpreter fallback;
+ * with it on they fold into the decoded engine and the per-reason
+ * counters collapse to ~0 — the observable form of the fold contract.
+ */
+EscapeCounts
+escapeCounts(bool trace, Count iters)
+{
+    obs::spcReset();
+    obs::spcAttach("all");
+
+    MachineConfig cfg;
+    cfg.processor = cpu::Processor::AthlonX2;
+    cfg.iface = Interface::Pm;
+    cfg.interruptsEnabled = false;
+    cfg.fastForward = false; // interpret every iteration
+    cfg.decodeCache = true;
+    cfg.traceTier = trace;
+    Machine m(cfg);
+    {
+        Assembler fn("leaf");
+        fn.addImm(Reg::Ebx, 1).ret();
+        m.addUserBlock(fn.take());
+    }
+    Assembler a("main");
+    // A pure counted loop first (forms a superblock), then the
+    // fold-heavy loop (call+ret+rdtsc per iteration). The counter
+    // lives in Esi: rdtsc writes Eax.
+    a.movImm(Reg::Esi, 0);
+    int warm = a.label();
+    a.addImm(Reg::Esi, 1)
+        .cmpImm(Reg::Esi, static_cast<std::int64_t>(iters))
+        .jne(warm);
+    a.movImm(Reg::Esi, 0);
+    int loop = a.label();
+    a.call("leaf")
+        .rdtsc()
+        .addImm(Reg::Esi, 1)
+        .cmpImm(Reg::Esi, static_cast<std::int64_t>(iters))
+        .jne(loop)
+        .halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+
+    EscapeCounts e;
+    e.callret = obs::spcValue(obs::Spc::DecodedEscapeCallret);
+    e.timeread = obs::spcValue(obs::Spc::DecodedEscapeTimeread);
+    e.syscall = obs::spcValue(obs::Spc::DecodedEscapeSyscall);
+    e.other = obs::spcValue(obs::Spc::DecodedEscapeOther);
+    e.formed = obs::spcValue(obs::Spc::SuperblocksFormed);
+    e.exits = obs::spcValue(obs::Spc::SuperblockExits);
+    obs::spcReset();
+    return e;
 }
 
 /**
@@ -329,7 +420,7 @@ runLoopOnce(InterpCell &cell, Count iters)
  * {points/sec, error-sequence digest}.
  */
 std::pair<double, std::string>
-timeHarnessPoints(bool decode, int runs)
+timeHarnessPoints(bool decode, bool trace, int runs)
 {
     const LoopBench bench(100000);
     std::ostringstream digest;
@@ -341,6 +432,7 @@ timeHarnessPoints(bool decode, int runs)
         cfg.pattern = AccessPattern::ReadRead;
         cfg.seed = static_cast<std::uint64_t>(r) + 1;
         cfg.decodeCache = decode;
+        cfg.traceTier = trace;
         const auto m = MeasurementHarness(cfg).measure(bench);
         digest << m.error() << '/';
     }
@@ -354,16 +446,22 @@ runInterpMode(const std::string &out_path)
     constexpr Count iters = 1000000;
     constexpr int reps = 5;
     constexpr int harnessRuns = 24;
+    constexpr Count escapeIters = 20000;
 
     std::cout << "interp workload: " << iters << "-iteration loop x "
-              << reps << " reps, decode {on, off} x ff {off, on}\n";
+              << reps
+              << " reps, tier {trace, block, legacy} x ff {off, on} "
+                 "(dispatch: "
+              << cpu::dispatchKindName() << ")\n";
 
-    // ff off first: that pair is the headline interpreter speedup.
+    // ff off first: those cells are the headline dispatch speedups.
+    // Within one ff setting: trace, block, legacy.
     std::vector<InterpCell> cells;
     for (const bool ff : {false, true})
-        for (const bool decode : {true, false}) {
+        for (const int tier : {2, 1, 0}) {
             InterpCell c;
-            c.decode = decode;
+            c.decode = tier >= 1;
+            c.trace = tier == 2;
             c.fastForward = ff;
             // Microsecond-scale ff runs need amortization (see
             // runLoopOnce).
@@ -374,23 +472,24 @@ runInterpMode(const std::string &out_path)
         for (InterpCell &c : cells)
             runLoopOnce(c, iters);
     for (InterpCell &c : cells)
-        c.ips = c.sec > 0
-            ? static_cast<double>(c.instr) / c.sec
-            : 0.0;
+        c.aggregate();
 
     bool identical = true;
     for (const InterpCell &c : cells) {
-        std::cout << "decode " << (c.decode ? "on " : "off")
-                  << ", ff " << (c.fastForward ? "on " : "off")
-                  << ": " << fmtDouble(c.sec, 3) << " s, "
+        std::cout << padRight(c.tierName(), 6) << " tier, ff "
+                  << (c.fastForward ? "on " : "off") << ": "
+                  << fmtDouble(c.sec, 3) << " s (min "
+                  << fmtDouble(c.secMin, 3) << ", max "
+                  << fmtDouble(c.secMax, 3) << "), "
                   << fmtDouble(c.ips / 1e6, 2) << " M instr/s\n";
     }
-    // The cache must be invisible: compare digests within each ff
-    // setting (decode on vs off), not across ff settings.
-    for (std::size_t i = 0; i + 1 < cells.size(); i += 2) {
-        if (cells[i].digest != cells[i + 1].digest) {
-            std::cerr << "FATAL: decode cache changed architectural "
-                         "state (ff "
+    // The tiers must be invisible: compare digests within each ff
+    // triple (trace vs block vs legacy), not across ff settings.
+    for (std::size_t i = 0; i < cells.size(); i += 3) {
+        if (cells[i].digest != cells[i + 1].digest ||
+            cells[i].digest != cells[i + 2].digest) {
+            std::cerr << "FATAL: an execution tier changed "
+                         "architectural state (ff "
                       << (cells[i].fastForward ? "on" : "off")
                       << ")\n";
             identical = false;
@@ -399,27 +498,55 @@ runInterpMode(const std::string &out_path)
     if (!identical)
         return 1;
 
+    // cells: [0]=trace [1]=block [2]=legacy (ff off), [3..5] ff on.
     const double speedup =
+        cells[2].ips > 0 ? cells[1].ips / cells[2].ips : 0.0;
+    const double traceSpeedup =
         cells[1].ips > 0 ? cells[0].ips / cells[1].ips : 0.0;
     const double speedupFf =
-        cells[3].ips > 0 ? cells[2].ips / cells[3].ips : 0.0;
-    std::cout << "decode-cache speedup: " << fmtDouble(speedup, 2)
-              << "x (interpreted), " << fmtDouble(speedupFf, 2)
+        cells[5].ips > 0 ? cells[4].ips / cells[5].ips : 0.0;
+    const double traceSpeedupFf =
+        cells[4].ips > 0 ? cells[3].ips / cells[4].ips : 0.0;
+    std::cout << "block-over-legacy speedup: "
+              << fmtDouble(speedup, 2) << "x (interpreted), "
+              << fmtDouble(speedupFf, 2) << "x (fast-forwarded)\n"
+              << "trace-over-block speedup: "
+              << fmtDouble(traceSpeedup, 2) << "x (interpreted), "
+              << fmtDouble(traceSpeedupFf, 2)
               << "x (fast-forwarded)\n";
 
-    const auto [onPps, onDigest] = timeHarnessPoints(true,
-                                                     harnessRuns);
-    const auto [offPps, offDigest] = timeHarnessPoints(false,
-                                                       harnessRuns);
-    if (onDigest != offDigest) {
-        std::cerr << "FATAL: decode cache changed measurement "
+    // Per-reason escape counts: the fold contract, observable.
+    const EscapeCounts escOff = escapeCounts(false, escapeIters);
+    const EscapeCounts escOn = escapeCounts(true, escapeIters);
+    std::cout << "decoded escapes (fold workload, " << escapeIters
+              << " iters), tier off -> on: callret " << escOff.callret
+              << " -> " << escOn.callret << ", timeread "
+              << escOff.timeread << " -> " << escOn.timeread
+              << ", syscall " << escOff.syscall << " -> "
+              << escOn.syscall << ", other " << escOff.other
+              << " -> " << escOn.other << "; superblocks "
+              << escOn.formed << " formed, " << escOn.exits
+              << " exits\n";
+
+    const auto [tracePps, traceDigest] =
+        timeHarnessPoints(true, true, harnessRuns);
+    const auto [onPps, onDigest] =
+        timeHarnessPoints(true, false, harnessRuns);
+    const auto [offPps, offDigest] =
+        timeHarnessPoints(false, false, harnessRuns);
+    if (onDigest != offDigest || traceDigest != offDigest) {
+        std::cerr << "FATAL: an execution tier changed measurement "
                      "errors\n";
         return 1;
     }
     const double harnessSpeedup = offPps > 0 ? onPps / offPps : 0.0;
-    std::cout << "measurement points/sec: " << fmtDouble(onPps, 2)
-              << " (decode on) vs " << fmtDouble(offPps, 2)
-              << " (off), " << fmtDouble(harnessSpeedup, 2) << "x\n";
+    const double harnessTraceSpeedup =
+        onPps > 0 ? tracePps / onPps : 0.0;
+    std::cout << "measurement points/sec: " << fmtDouble(tracePps, 2)
+              << " (trace) vs " << fmtDouble(onPps, 2)
+              << " (block) vs " << fmtDouble(offPps, 2)
+              << " (legacy), trace-over-block "
+              << fmtDouble(harnessTraceSpeedup, 2) << "x\n";
 
     std::ofstream os(out_path);
     if (!os) {
@@ -430,13 +557,18 @@ runInterpMode(const std::string &out_path)
        << "  \"workload\": \"loop_sweep_interp\",\n"
        << "  \"loop_iters\": " << iters << ",\n"
        << "  \"reps\": " << reps << ",\n"
+       << "  \"dispatch\": \"" << cpu::dispatchKindName() << "\",\n"
        << "  \"cells\": [\n";
     for (std::size_t i = 0; i < cells.size(); ++i) {
         const InterpCell &c = cells[i];
-        os << "    {\"decode\": " << (c.decode ? "true" : "false")
+        os << "    {\"tier\": \"" << c.tierName() << "\""
+           << ", \"decode\": " << (c.decode ? "true" : "false")
+           << ", \"trace\": " << (c.trace ? "true" : "false")
            << ", \"fast_forward\": "
            << (c.fastForward ? "true" : "false")
            << ", \"sec\": " << fmtDouble(c.sec, 4)
+           << ", \"sec_min\": " << fmtDouble(c.secMin, 4)
+           << ", \"sec_max\": " << fmtDouble(c.secMax, 4)
            << ", \"instr\": " << c.instr
            << ", \"instr_per_sec\": " << fmtDouble(c.ips, 0) << "}"
            << (i + 1 < cells.size() ? "," : "") << "\n";
@@ -445,14 +577,35 @@ runInterpMode(const std::string &out_path)
        << "  \"decode_speedup\": " << fmtDouble(speedup, 3) << ",\n"
        << "  \"decode_speedup_ff\": " << fmtDouble(speedupFf, 3)
        << ",\n"
+       << "  \"trace_speedup\": " << fmtDouble(traceSpeedup, 3)
+       << ",\n"
+       << "  \"trace_speedup_ff\": " << fmtDouble(traceSpeedupFf, 3)
+       << ",\n"
+       << "  \"escape_spcs\": {\n"
+       << "    \"workload_iters\": " << escapeIters << ",\n"
+       << "    \"tier_off\": {\"callret\": " << escOff.callret
+       << ", \"timeread\": " << escOff.timeread
+       << ", \"syscall\": " << escOff.syscall
+       << ", \"other\": " << escOff.other << "},\n"
+       << "    \"tier_on\": {\"callret\": " << escOn.callret
+       << ", \"timeread\": " << escOn.timeread
+       << ", \"syscall\": " << escOn.syscall
+       << ", \"other\": " << escOn.other
+       << ", \"superblocks_formed\": " << escOn.formed
+       << ", \"superblock_exits\": " << escOn.exits << "}\n"
+       << "  },\n"
        << "  \"harness_workload\": \"fig07_loop_interrupts\",\n"
        << "  \"harness_runs\": " << harnessRuns << ",\n"
+       << "  \"harness_points_per_sec_trace\": "
+       << fmtDouble(tracePps, 2) << ",\n"
        << "  \"harness_points_per_sec_on\": " << fmtDouble(onPps, 2)
        << ",\n"
        << "  \"harness_points_per_sec_off\": "
        << fmtDouble(offPps, 2) << ",\n"
        << "  \"harness_decode_speedup\": "
        << fmtDouble(harnessSpeedup, 3) << ",\n"
+       << "  \"harness_trace_speedup\": "
+       << fmtDouble(harnessTraceSpeedup, 3) << ",\n"
        << "  \"outputs_identical\": true\n"
        << "}\n";
     std::cout << "wrote " << out_path << "\n";

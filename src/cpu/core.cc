@@ -45,6 +45,10 @@ Core::setProgram(const isa::Program *prog)
 {
     pca_assert(prog && prog->linked());
     program = prog;
+    // Superblocks index into the program's decoded images; a program
+    // switch (or relink) invalidates every trace.
+    traces.clear();
+    traceHeat.clear();
 }
 
 std::uint64_t &
@@ -178,7 +182,7 @@ Core::run(CodePtr entry, Count max_instr)
         }
         if (decodeOn && !pmuUnit.samplingActive() &&
             prof == nullptr) {
-            steps += stepDecodedBlock();
+            steps += traceOn ? stepTraceTier() : stepDecodedBlock();
         } else {
             // Sampling sessions and an attached profiler force pure
             // interpretation: overflow (or the retired-PC ground
@@ -309,6 +313,8 @@ Core::stepDecodedBlock()
     const isa::DecodedBlock &db = program->decoded(pc.block);
     std::size_t idx = static_cast<std::size_t>(pc.index);
     if (idx >= db.size() || db.inst(idx).escape()) {
+        obs::spcInc(idx < db.size() ? escapeSpc(db.inst(idx).op)
+                                    : obs::Spc::DecodedEscapeOther);
         step();
         return 1;
     }
@@ -1016,6 +1022,11 @@ Core::reset()
     poisonSinceBackward = true;
     lastFetchLine = ~Addr{0};
     lastFetchPage = ~Addr{0};
+    // Power-on reset re-warms the trace tier from scratch: reboot()
+    // equivalence requires a rebooted machine to form (and count)
+    // its superblocks exactly like a fresh boot.
+    traces.clear();
+    traceHeat.clear();
 }
 
 } // namespace pca::cpu

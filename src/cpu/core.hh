@@ -20,6 +20,7 @@
 #include "cpu/microarch.hh"
 #include "cpu/pmu.hh"
 #include "cpu/predictor.hh"
+#include "cpu/trace.hh"
 #include "isa/context.hh"
 #include "isa/program.hh"
 #include "support/types.hh"
@@ -109,6 +110,19 @@ class Core : public isa::CpuContext
      * measured by the ablation bench).
      */
     void setDecodeCacheEnabled(bool on) { decodeOn = on; }
+
+    /**
+     * Enable/disable the superblock/trace tier (default on; only
+     * active while the decode cache is on). When enabled, hot loop
+     * heads are chained into superblocks executed with threaded
+     * dispatch, and the foldable escape classes (call/ret,
+     * time-reads, MSR access, syscall entry/exit) execute inside the
+     * decoded engine instead of falling back to the legacy
+     * interpreter. Results are identical either way (asserted by
+     * tests/test_trace.cc); like the decode cache, the tier disarms
+     * itself under PMU sampling or an attached profiler.
+     */
+    void setTraceTierEnabled(bool on) { traceOn = on; }
 
     /**
      * Attach the sampling profiler (null detaches, the default).
@@ -219,6 +233,13 @@ class Core : public isa::CpuContext
 
     void step();
     Count stepDecodedBlock();
+    Count stepTraceTier();
+    Count runSuperblock(const Superblock &sb, bool check_irq,
+                        Cycles irq_due, Count budget);
+    /** Existing trace for (block, head), building it when the head
+     * crosses the hotness threshold; null until then (or forever,
+     * for unprofitable heads). */
+    const Superblock *traceFor(int block, int head);
     void execute(const isa::Inst &in);
     void deliverInterrupt(int vector);
     void chargeCycles(Cycles c);
@@ -288,6 +309,16 @@ class Core : public isa::CpuContext
     int itlbPageShift = 0;
     Addr lastFetchLine = ~Addr{0};
     Addr lastFetchPage = ~Addr{0};
+
+    // Trace-tier state. Traces and heat counters are derivatives of
+    // the immutable decoded program (no architectural or PMU state),
+    // keyed by (block id << 32 | head index). reset() and
+    // setProgram() drop them wholesale: a rebooted machine re-warms
+    // its traces exactly like a fresh boot, and a relinked program
+    // can never execute through stale images.
+    bool traceOn = true;
+    std::unordered_map<std::uint64_t, Superblock> traces;
+    std::unordered_map<std::uint64_t, std::uint32_t> traceHeat;
 };
 
 } // namespace pca::cpu

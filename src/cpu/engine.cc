@@ -1,0 +1,1221 @@
+/**
+ * @file
+ * The superblock/trace execution tier.
+ *
+ * Two layers above the basic-block engine in core.cc:
+ *
+ *  - stepTraceTier(): the warm path. Identical inline semantics to
+ *    stepDecodedBlock(), plus (a) the foldable escape classes —
+ *    call/ret, the time-read and MSR opcodes, syscall/iret — execute
+ *    inline after flushing batched state instead of falling back to
+ *    the legacy interpreter, and (b) taken backward conditional
+ *    branches consult the trace cache and drop into runSuperblock()
+ *    once the loop head is hot.
+ *
+ *  - runSuperblock(): the hot path. Executes whole loop passes over a
+ *    prebuilt trace with threaded (computed-goto) dispatch where the
+ *    toolchain supports it, a switch-based jump table otherwise.
+ *    Per-element fetch-window / icache-line / iTLB-page keys are
+ *    build-time constants, so the per-instruction work reduces to the
+ *    fetch-account adds, the operation itself, and the interrupt
+ *    horizon check.
+ *
+ * The identity contract with the per-step interpreter extends the
+ * block engine's (see stepDecodedBlock's comment) with three facts:
+ *
+ *  - every fold flushes the retire/cycle batches before anything that
+ *    observes time or counts (the TSC, rdpmc, the PMU's MSR file, the
+ *    trap-entry tracer) and re-checks the interrupt horizon before
+ *    executing another instruction, so observation and poll points
+ *    land exactly where per-step retirement put them;
+ *  - wrmsr can arm sampling and syscall/iret change privilege mode,
+ *    so those folds exit the dispatch right after retiring — run()
+ *    re-evaluates its sampling/profiler gate before the next
+ *    instruction, and the mode stays constant within any dispatch;
+ *  - a trace exit is just an extra dispatch exit, and extra exits are
+ *    invisible: the poll below the horizon delivers nothing, and the
+ *    resume index handed back is precomputed per element for every
+ *    exit path (fall-through, taken branch, mid-pass horizon).
+ */
+
+#include "cpu/core.hh"
+
+#include "obs/spc.hh"
+#include "obs/trace.hh"
+#include "support/logging.hh"
+
+namespace pca::cpu
+{
+
+using isa::CodePtr;
+using isa::Opcode;
+using isa::Reg;
+
+const Superblock *
+Core::traceFor(int block, int head)
+{
+    // Hot enough that cold heads never pay a build, cold enough that
+    // the interpreted warm-up is a rounding error on any loop long
+    // enough for dispatch cost to matter.
+    constexpr std::uint32_t hotThreshold = 16;
+
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(block))
+         << 32) |
+        static_cast<std::uint32_t>(head);
+    const auto it = traces.find(key);
+    if (it != traces.end())
+        return it->second.ok ? &it->second : nullptr;
+
+    std::uint32_t &heat = traceHeat[key];
+    if (++heat < hotThreshold)
+        return nullptr;
+
+    TraceGeometry geom;
+    geom.windowShift = 0;
+    while ((1 << geom.windowShift) < archRef.fetchBytes)
+        ++geom.windowShift;
+    geom.lineShift = icLineShift;
+    geom.pageShift = itlbPageShift;
+
+    // Node-based map: the pointer stays valid for the core's life.
+    Superblock &sb = traces[key];
+    buildSuperblock(program->decoded(block), block, head, geom, sb);
+    if (sb.ok)
+        PCA_SPC_INC(SuperblocksFormed);
+    return sb.ok ? &sb : nullptr;
+}
+
+/**
+ * The warm tier: stepDecodedBlock() with escape folding and trace
+ * entry. Unlike the block engine, the current block can change inside
+ * one dispatch (call/ret), so the decoded image and pc.block are
+ * reloaded/resynced at every transition.
+ */
+Count
+Core::stepTraceTier()
+{
+    int blk = pc.block;
+    const isa::DecodedBlock *db = &program->decoded(blk);
+    auto idx = static_cast<std::size_t>(pc.index);
+
+    // True escapes (HostOp, Halt, unresolved calls) still go through
+    // the legacy interpreter, one instruction per dispatch.
+    if (idx >= db->size() ||
+        (db->inst(idx).escape() && !db->inst(idx).foldable())) {
+        obs::spcInc(idx < db->size() ? escapeSpc(db->inst(idx).op)
+                                     : obs::Spc::DecodedEscapeOther);
+        step();
+        return 1;
+    }
+
+    const Mode mode = curMode;
+    const auto mi = static_cast<std::size_t>(mode);
+    const bool check_irq = mode == Mode::User && intClient != nullptr;
+    const Cycles irq_due =
+        check_irq ? intClient->nextInterruptCycle() : 0;
+
+    constexpr Count chunk = 65536;
+    auto segment_limit = [&](std::size_t at, Count used,
+                             std::size_t end) {
+        const auto left = static_cast<std::size_t>(chunk - used);
+        return end - at < left ? end : at + left;
+    };
+
+    Count retired = 0;
+    Count brRetired = 0;
+    Cycles pend = 0;
+    Count total = 0;
+    bool poison = mode != Mode::User;
+    Addr fetchLine = lastFetchLine;
+    Addr fetchPage = lastFetchPage;
+
+    auto flush = [&] {
+        if (retired != 0) {
+            instrPerMode[mi] += retired;
+            rawEv[static_cast<std::size_t>(EventType::InstrRetired)]
+                 [mi] += retired;
+            pmuUnit.count(EventType::InstrRetired, mode, retired);
+            if (mode == Mode::Kernel)
+                PCA_SPC_ADD(KernelInstrs, retired);
+            retired = 0;
+        }
+        if (brRetired != 0) {
+            rawEv[static_cast<std::size_t>(
+                EventType::BrInstRetired)][mi] += brRetired;
+            pmuUnit.count(EventType::BrInstRetired, mode, brRetired);
+            brRetired = 0;
+        }
+        if (pend != 0) {
+            cycleCount += pend;
+            cyclesPerMode[mi] += pend;
+            pmuUnit.addCycles(pend, mode);
+            pend = 0;
+        }
+        if (poison)
+            poisonSinceBackward = true;
+        poison = mode != Mode::User;
+        lastFetchLine = fetchLine;
+        lastFetchPage = fetchPage;
+    };
+
+    // Fetch accounting for folded escapes: identical to the inline
+    // loop's, out of line because folds are rare relative to it.
+    auto fold_fetch = [&](const isa::DecodedInst &di) {
+        const Addr line = di.addr >> icLineShift;
+        if (line != fetchLine) {
+            fetchLine = line;
+            if (!icache.access(di.addr)) {
+                pend += static_cast<Cycles>(archRef.icacheMissPenalty);
+                countEvent(EventType::IcacheMiss);
+                if (!l2.access(di.addr)) {
+                    pend += static_cast<Cycles>(archRef.l2MissPenalty);
+                    countEvent(EventType::L2Miss);
+                }
+            }
+            const Addr page = di.addr >> itlbPageShift;
+            if (page != fetchPage) {
+                fetchPage = page;
+                if (!itlb.access(di.addr)) {
+                    pend +=
+                        static_cast<Cycles>(archRef.itlbMissPenalty);
+                    countEvent(EventType::ItlbMiss);
+                }
+            }
+        }
+        pend += frontEnd.onInst(di.addr, di.size);
+    };
+
+    const isa::DecodedInst *code = db->data();
+
+    for (;;) {
+        if (idx >= db->size())
+            break; // off the block end: legacy step() reports it
+        if (total >= chunk)
+            break;
+        // The baseline always executes exactly one instruction after
+        // each poll, hence the total > 0 guard.
+        if (total > 0 && check_irq && cycleCount + pend >= irq_due)
+            break;
+
+        const isa::DecodedInst &dc = code[idx];
+        if (dc.escape()) {
+            if (!dc.foldable())
+                break; // HostOp/Halt: next dispatch steps it
+            switch (dc.op) {
+              case Opcode::Call:
+                fold_fetch(dc);
+                predictor.noteUncond(dc.addr);
+                ++brRetired;
+                callStack.push_back(
+                    CodePtr{blk, static_cast<int>(idx) + 1});
+                frontEnd.redirect(dc.targetAddr);
+                ++retired;
+                ++total;
+                poison = true;
+                blk = dc.targetIndex;
+                db = &program->decoded(blk);
+                code = db->data();
+                idx = 0;
+                continue;
+
+              case Opcode::Ret:
+              {
+                fold_fetch(dc);
+                if (callStack.empty())
+                    pca_panic("ret with empty call stack in block ",
+                              program->block(blk).name());
+                ++brRetired;
+                const CodePtr ret = callStack.back();
+                callStack.pop_back();
+                frontEnd.redirect(program->inst(ret).addr);
+                ++retired;
+                ++total;
+                poison = true;
+                blk = ret.block;
+                db = &program->decoded(blk);
+                code = db->data();
+                idx = static_cast<std::size_t>(ret.index);
+                continue;
+              }
+
+              case Opcode::Rdtsc:
+                fold_fetch(dc);
+                if (mode == Mode::User && !userRdtscOk)
+                    pca_panic(
+                        "#GP: rdtsc in user mode with CR4.TSD set");
+                flush(); // the TSC must see every pending cycle
+                reg(Reg::Eax) = pmuUnit.rdtsc();
+                chargeCycles(static_cast<Cycles>(archRef.rdtscCycles));
+                ++retired;
+                ++total;
+                poison = true;
+                ++idx;
+                continue;
+
+              case Opcode::Rdpmc:
+                fold_fetch(dc);
+                if (mode == Mode::User && !userRdpmcOk)
+                    pca_panic(
+                        "#GP: rdpmc in user mode with CR4.PCE clear");
+                flush(); // the counter must see every pending count
+                reg(Reg::Eax) = pmuUnit.rdpmc(reg(Reg::Ecx));
+                chargeCycles(static_cast<Cycles>(archRef.rdpmcCycles));
+                ++retired;
+                ++total;
+                poison = true;
+                ++idx;
+                continue;
+
+              case Opcode::Rdmsr:
+                fold_fetch(dc);
+                if (mode != Mode::Kernel)
+                    pca_panic("#GP: rdmsr in user mode");
+                flush();
+                reg(Reg::Eax) = pmuUnit.rdmsr(
+                    static_cast<std::uint32_t>(reg(Reg::Ecx)));
+                chargeCycles(static_cast<Cycles>(archRef.rdmsrCycles));
+                ++retired;
+                ++total;
+                poison = true;
+                ++idx;
+                continue;
+
+              case Opcode::Wrmsr:
+                fold_fetch(dc);
+                if (mode != Mode::Kernel)
+                    pca_panic("#GP: wrmsr in user mode");
+                flush();
+                pmuUnit.wrmsr(
+                    static_cast<std::uint32_t>(reg(Reg::Ecx)),
+                    reg(Reg::Eax));
+                chargeCycles(static_cast<Cycles>(archRef.wrmsrCycles));
+                ++retired;
+                ++total;
+                poison = true;
+                ++idx;
+                // wrmsr can arm sampling: exit so run() re-evaluates
+                // its gate before the next instruction.
+                flush();
+                pc.block = blk;
+                pc.index = static_cast<int>(idx);
+                return total;
+
+              case Opcode::Syscall:
+                fold_fetch(dc);
+                if (!syscallEntry.valid())
+                    pca_panic("syscall with no kernel attached");
+                flush();
+                trapStack.push_back(
+                    {CodePtr{blk, static_cast<int>(idx) + 1}, curMode,
+                     false, zeroFlag, lessFlag, pmuUnit.attrClass()});
+                curMode = Mode::Kernel;
+                pmuUnit.setAttrClass(obs::AttrClass::Syscall);
+                if (obs::traceEnabled())
+                    obs::tracer().begin("syscall", "kernel",
+                                        cycleCount);
+                chargeCycles(
+                    static_cast<Cycles>(archRef.syscallEntryCycles));
+                ++retired;
+                ++total;
+                poison = true;
+                flush(); // retires to `mode`: the mode at fetch
+                pc = syscallEntry;
+                frontEnd.redirect(program->inst(pc).addr);
+                // The dispatch exits at the actual privilege
+                // transition: that is the escape that remains.
+                obs::spcInc(obs::Spc::DecodedEscapeSyscall);
+                return total;
+
+              case Opcode::Iret:
+              {
+                fold_fetch(dc);
+                if (trapStack.empty())
+                    pca_panic("iret with empty trap stack");
+                flush();
+                chargeCycles(
+                    static_cast<Cycles>(archRef.syscallExitCycles));
+                const SavedContext saved = trapStack.back();
+                trapStack.pop_back();
+                if (saved.fromInterrupt)
+                    activeVector = -1;
+                curMode = saved.mode;
+                pmuUnit.setAttrClass(saved.attrCls);
+                if (obs::traceEnabled())
+                    obs::tracer().end(cycleCount);
+                zeroFlag = saved.zeroFlag;
+                lessFlag = saved.lessFlag;
+                ++retired;
+                ++total;
+                poison = true;
+                flush(); // retires to `mode` (kernel)
+                pc = saved.pc;
+                frontEnd.redirect(program->inst(pc).addr);
+                obs::spcInc(obs::Spc::DecodedEscapeSyscall);
+                return total;
+              }
+
+              default:
+                pca_panic("non-foldable opcode ",
+                          isa::opcodeName(dc.op),
+                          " flagged DiFoldable");
+            }
+        }
+
+        // One straight-line segment, exactly as in the block engine.
+        auto run_end = static_cast<std::size_t>(db->runEnd(idx));
+        std::size_t limit = segment_limit(idx, total, run_end);
+        bool leave = false;
+        for (;;) {
+            const isa::DecodedInst &di = code[idx];
+
+            const Addr line = di.addr >> icLineShift;
+            if (line != fetchLine) {
+                fetchLine = line;
+                if (!icache.access(di.addr)) {
+                    pend +=
+                        static_cast<Cycles>(archRef.icacheMissPenalty);
+                    countEvent(EventType::IcacheMiss);
+                    if (!l2.access(di.addr)) {
+                        pend +=
+                            static_cast<Cycles>(archRef.l2MissPenalty);
+                        countEvent(EventType::L2Miss);
+                    }
+                }
+                const Addr page = di.addr >> itlbPageShift;
+                if (page != fetchPage) {
+                    fetchPage = page;
+                    if (!itlb.access(di.addr)) {
+                        pend += static_cast<Cycles>(
+                            archRef.itlbMissPenalty);
+                        countEvent(EventType::ItlbMiss);
+                    }
+                }
+            }
+            pend += frontEnd.onInst(di.addr, di.size);
+
+            bool taken = false;
+            switch (di.op) {
+              case Opcode::MovImm:
+                regs[di.r1] = static_cast<std::uint64_t>(di.imm);
+                break;
+              case Opcode::MovReg:
+                regs[di.r1] = regs[di.r2];
+                break;
+              case Opcode::AddImm:
+                regs[di.r1] += static_cast<std::uint64_t>(di.imm);
+                break;
+              case Opcode::AddReg:
+                regs[di.r1] += regs[di.r2];
+                break;
+              case Opcode::SubImm:
+                regs[di.r1] -= static_cast<std::uint64_t>(di.imm);
+                break;
+              case Opcode::SubReg:
+                regs[di.r1] -= regs[di.r2];
+                break;
+              case Opcode::CmpImm:
+                zeroFlag =
+                    regs[di.r1] == static_cast<std::uint64_t>(di.imm);
+                lessFlag =
+                    static_cast<std::int64_t>(regs[di.r1]) < di.imm;
+                break;
+              case Opcode::CmpReg:
+                zeroFlag = regs[di.r1] == regs[di.r2];
+                lessFlag = static_cast<std::int64_t>(regs[di.r1]) <
+                    static_cast<std::int64_t>(regs[di.r2]);
+                break;
+              case Opcode::TestReg:
+                zeroFlag = (regs[di.r1] & regs[di.r2]) == 0;
+                lessFlag = false;
+                break;
+              case Opcode::XorReg:
+                regs[di.r1] ^= regs[di.r2];
+                break;
+              case Opcode::AndImm:
+                regs[di.r1] &= static_cast<std::uint64_t>(di.imm);
+                break;
+              case Opcode::OrReg:
+                regs[di.r1] |= regs[di.r2];
+                break;
+              case Opcode::ShlImm:
+                regs[di.r1] <<= di.imm;
+                break;
+              case Opcode::ShrImm:
+                regs[di.r1] >>= di.imm;
+                break;
+
+              case Opcode::Load:
+              {
+                const Addr a =
+                    regs[di.r2] + static_cast<Addr>(di.imm);
+                auto it = memory.find(a);
+                regs[di.r1] = it == memory.end() ? 0 : it->second;
+                dataAccess(a);
+                break;
+              }
+              case Opcode::Store:
+              {
+                const Addr a =
+                    regs[di.r2] + static_cast<Addr>(di.imm);
+                memory[a] = regs[di.r1];
+                dataAccess(a);
+                break;
+              }
+              case Opcode::Push:
+                reg(Reg::Esp) -= 8;
+                memory[reg(Reg::Esp)] = regs[di.r1];
+                dataAccess(reg(Reg::Esp));
+                break;
+              case Opcode::Pop:
+                regs[di.r1] = memory[reg(Reg::Esp)];
+                dataAccess(reg(Reg::Esp));
+                reg(Reg::Esp) += 8;
+                break;
+
+              case Opcode::Jmp:
+                predictor.noteUncond(di.addr);
+                ++brRetired;
+                taken = true;
+                break;
+              case Opcode::Je:
+              case Opcode::Jne:
+              case Opcode::Jl:
+              case Opcode::Jge:
+              {
+                const bool t = di.op == Opcode::Je    ? zeroFlag
+                               : di.op == Opcode::Jne ? !zeroFlag
+                               : di.op == Opcode::Jl  ? lessFlag
+                                                      : !lessFlag;
+                const bool mispred =
+                    predictor.predictAndTrain(di.addr, t);
+                ++brRetired;
+                if (mispred) {
+                    pend += static_cast<Cycles>(
+                        archRef.mispredictPenalty);
+                    rawEv[static_cast<std::size_t>(
+                        EventType::BrMispRetired)][mi] += 1;
+                    pmuUnit.count(EventType::BrMispRetired, mode, 1);
+                }
+                taken = t;
+                break;
+              }
+
+              case Opcode::Nop:
+                break;
+              case Opcode::Cpuid:
+                pend += static_cast<Cycles>(archRef.cpuidCycles);
+                break;
+              default:
+                pca_panic("escape opcode ", isa::opcodeName(di.op),
+                          " reached the trace-tier inline loop");
+            }
+
+            if (taken) {
+                pend += frontEnd.onTakenBranch(
+                    di.addr, di.addr + static_cast<Addr>(di.size),
+                    di.targetAddr);
+                ++retired;
+                ++total;
+                if ((di.flags & isa::DiBackwardBranch) != 0 &&
+                    mode == Mode::User) {
+                    // Taken backward loop branch: flush (the ff
+                    // machinery and a trace both need committed
+                    // state), run the ff hook, then consult the
+                    // trace cache for this head.
+                    flush();
+                    const auto bidx = static_cast<int>(idx);
+                    pc.block = blk;
+                    pc.index = di.targetIndex;
+                    if (ffEnabled) {
+                        const std::uint64_t key =
+                            (static_cast<std::uint64_t>(blk) << 32) |
+                            static_cast<std::uint64_t>(bidx);
+                        maybeFastForwardKeyed(
+                            key, program->inst(CodePtr{blk, bidx}),
+                            bidx);
+                    }
+                    const Superblock *sb =
+                        traceFor(blk, di.targetIndex);
+                    if (sb != nullptr) {
+                        if ((check_irq && cycleCount >= irq_due) ||
+                            total >= chunk)
+                            return total; // pc is at the head
+                        return total +
+                            runSuperblock(*sb, check_irq, irq_due,
+                                          chunk - total);
+                    }
+                }
+                idx = static_cast<std::size_t>(di.targetIndex);
+                if (idx >= db->size() || code[idx].escape())
+                    break; // outer loop folds it (or exits)
+                run_end = static_cast<std::size_t>(db->runEnd(idx));
+                if ((check_irq && cycleCount + pend >= irq_due) ||
+                    total >= chunk) {
+                    leave = true;
+                    break;
+                }
+                limit = segment_limit(idx, total, run_end);
+                continue;
+            }
+
+            ++retired;
+            ++total;
+            poison |= (di.flags & isa::DiFfSafe) == 0;
+            ++idx;
+            if (check_irq && cycleCount + pend >= irq_due) {
+                leave = true;
+                break;
+            }
+            if (idx >= limit)
+                break; // run end (outer folds) or chunk slice end
+        }
+        if (leave)
+            break;
+    }
+    flush();
+    pc.block = blk;
+    pc.index = static_cast<int>(idx);
+    return total;
+}
+
+// Per-element fetch accounting with build-time keys. countEvent()
+// attributes to curMode, which is User for the whole superblock. Any
+// miss marks the current pass non-quiet for the resident-pass
+// steady-state detector.
+#define PCA_SB_FETCH(a_, line_, page_, w0_, w1_)                       \
+    do {                                                               \
+        if ((line_) != fetchLine) {                                    \
+            fetchLine = (line_);                                       \
+            if (!icache.access(a_)) {                                  \
+                passQuiet = false;                                     \
+                pend +=                                                \
+                    static_cast<Cycles>(archRef.icacheMissPenalty);    \
+                countEvent(EventType::IcacheMiss);                     \
+                if (!l2.access(a_)) {                                  \
+                    pend +=                                            \
+                        static_cast<Cycles>(archRef.l2MissPenalty);    \
+                    countEvent(EventType::L2Miss);                     \
+                }                                                      \
+            }                                                          \
+            if ((page_) != fetchPage) {                                \
+                fetchPage = (page_);                                   \
+                if (!itlb.access(a_)) {                                \
+                    passQuiet = false;                                 \
+                    pend +=                                            \
+                        static_cast<Cycles>(archRef.itlbMissPenalty);  \
+                    countEvent(EventType::ItlbMiss);                   \
+                }                                                      \
+            }                                                          \
+        }                                                              \
+        pend += frontEnd.onInstWindows((w0_), (w1_));                  \
+    } while (0)
+
+#ifdef PCA_THREADED_DISPATCH
+#define PCA_SB_DISPATCH()                                              \
+    do {                                                               \
+        ti = &tc[pos];                                                 \
+        goto *sb_jump[ti->kind];                                       \
+    } while (0)
+#else
+#define PCA_SB_DISPATCH()                                              \
+    do {                                                               \
+        ti = &tc[pos];                                                 \
+        goto sb_dispatch;                                              \
+    } while (0)
+#endif
+
+// Epilogue of every non-branch element: retire, advance, re-check
+// the interrupt horizon and the step budget. A non-branch element is
+// never last in a trace (traces end at their closing branch), so
+// pos + 1 is always in range.
+#define PCA_SB_TAIL()                                                  \
+    do {                                                               \
+        ++retired;                                                     \
+        ++total;                                                       \
+        ++pos;                                                         \
+        if ((check_irq && cycleCount + pend >= irq_due) ||             \
+            total >= budget) {                                         \
+            resume = ti->nextIndex;                                    \
+            poison |= (ti->flags & TiUnsafePrefix) != 0;               \
+            goto sb_leave;                                             \
+        }                                                              \
+        PCA_SB_DISPATCH();                                             \
+    } while (0)
+
+/**
+ * Execute passes of @p sb until a side exit, the interrupt horizon,
+ * or the step budget. Entered flushed with pc at the trace head;
+ * returns with pc at the precomputed resume index of whichever exit
+ * fired. User mode only (trace entry sits on the block engine's
+ * user-mode loop-branch hook).
+ */
+Count
+Core::runSuperblock(const Superblock &sb, bool check_irq,
+                    Cycles irq_due, Count budget)
+{
+    const auto mi = static_cast<std::size_t>(Mode::User);
+    const TraceInst *tc = sb.code.data();
+    const int blk = sb.block;
+
+    Count retired = 0;
+    Count brRetired = 0;
+    Cycles pend = 0;
+    Count total = 0;
+    bool poison = false;
+    Addr fetchLine = lastFetchLine;
+    Addr fetchPage = lastFetchPage;
+    std::size_t pos = 0;
+    std::int32_t resume = sb.head;
+    const TraceInst *ti = tc;
+    bool taken = false;
+
+    // Steady-state detection for the resident-pass fast path (see
+    // sb_taken): pend at the start of the current pass, whether the
+    // current pass has been quiet (no fetch miss, no mispredict), and
+    // the cycle cost of the previous quiet pass (~0 = none).
+    Cycles passStart = 0;
+    bool passQuiet = true;
+    Cycles quietPend = ~Cycles{0};
+
+    auto flush = [&] {
+        if (retired != 0) {
+            instrPerMode[mi] += retired;
+            rawEv[static_cast<std::size_t>(EventType::InstrRetired)]
+                 [mi] += retired;
+            pmuUnit.count(EventType::InstrRetired, Mode::User,
+                          retired);
+            retired = 0;
+        }
+        if (brRetired != 0) {
+            rawEv[static_cast<std::size_t>(
+                EventType::BrInstRetired)][mi] += brRetired;
+            pmuUnit.count(EventType::BrInstRetired, Mode::User,
+                          brRetired);
+            brRetired = 0;
+        }
+        if (pend != 0) {
+            cycleCount += pend;
+            cyclesPerMode[mi] += pend;
+            pmuUnit.addCycles(pend, Mode::User);
+            pend = 0;
+        }
+        if (poison)
+            poisonSinceBackward = true;
+        poison = false;
+        lastFetchLine = fetchLine;
+        lastFetchPage = fetchPage;
+    };
+
+#ifdef PCA_THREADED_DISPATCH
+    // Label-address jump table, indexed by TraceKind (same order as
+    // the enum). One indirect goto per element, no bounds re-check.
+    static const void *const sb_jump[NumTraceKinds] = {
+        &&sb_lbl_TkMovImm,  &&sb_lbl_TkMovReg, &&sb_lbl_TkAddImm,
+        &&sb_lbl_TkAddReg,  &&sb_lbl_TkSubImm, &&sb_lbl_TkSubReg,
+        &&sb_lbl_TkCmpImm,  &&sb_lbl_TkCmpReg, &&sb_lbl_TkTestReg,
+        &&sb_lbl_TkXorReg,  &&sb_lbl_TkAndImm, &&sb_lbl_TkOrReg,
+        &&sb_lbl_TkShlImm,  &&sb_lbl_TkShrImm, &&sb_lbl_TkLoad,
+        &&sb_lbl_TkStore,   &&sb_lbl_TkPush,   &&sb_lbl_TkPop,
+        &&sb_lbl_TkNop,     &&sb_lbl_TkCpuid,  &&sb_lbl_TkJmp,
+        &&sb_lbl_TkCond,    &&sb_lbl_TkFused,
+    };
+#endif
+
+    PCA_SB_DISPATCH();
+
+#ifndef PCA_THREADED_DISPATCH
+sb_dispatch:
+    switch (ti->kind) {
+      case TkMovImm: goto sb_lbl_TkMovImm;
+      case TkMovReg: goto sb_lbl_TkMovReg;
+      case TkAddImm: goto sb_lbl_TkAddImm;
+      case TkAddReg: goto sb_lbl_TkAddReg;
+      case TkSubImm: goto sb_lbl_TkSubImm;
+      case TkSubReg: goto sb_lbl_TkSubReg;
+      case TkCmpImm: goto sb_lbl_TkCmpImm;
+      case TkCmpReg: goto sb_lbl_TkCmpReg;
+      case TkTestReg: goto sb_lbl_TkTestReg;
+      case TkXorReg: goto sb_lbl_TkXorReg;
+      case TkAndImm: goto sb_lbl_TkAndImm;
+      case TkOrReg: goto sb_lbl_TkOrReg;
+      case TkShlImm: goto sb_lbl_TkShlImm;
+      case TkShrImm: goto sb_lbl_TkShrImm;
+      case TkLoad: goto sb_lbl_TkLoad;
+      case TkStore: goto sb_lbl_TkStore;
+      case TkPush: goto sb_lbl_TkPush;
+      case TkPop: goto sb_lbl_TkPop;
+      case TkNop: goto sb_lbl_TkNop;
+      case TkCpuid: goto sb_lbl_TkCpuid;
+      case TkJmp: goto sb_lbl_TkJmp;
+      case TkCond: goto sb_lbl_TkCond;
+      case TkFused: goto sb_lbl_TkFused;
+      default: break;
+    }
+    pca_panic("corrupt trace kind");
+#endif
+
+sb_lbl_TkMovImm:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    regs[ti->r1] = static_cast<std::uint64_t>(ti->imm);
+    PCA_SB_TAIL();
+
+sb_lbl_TkMovReg:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    regs[ti->r1] = regs[ti->r2];
+    PCA_SB_TAIL();
+
+sb_lbl_TkAddImm:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    regs[ti->r1] += static_cast<std::uint64_t>(ti->imm);
+    PCA_SB_TAIL();
+
+sb_lbl_TkAddReg:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    regs[ti->r1] += regs[ti->r2];
+    PCA_SB_TAIL();
+
+sb_lbl_TkSubImm:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    regs[ti->r1] -= static_cast<std::uint64_t>(ti->imm);
+    PCA_SB_TAIL();
+
+sb_lbl_TkSubReg:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    regs[ti->r1] -= regs[ti->r2];
+    PCA_SB_TAIL();
+
+sb_lbl_TkCmpImm:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    zeroFlag = regs[ti->r1] == static_cast<std::uint64_t>(ti->imm);
+    lessFlag = static_cast<std::int64_t>(regs[ti->r1]) < ti->imm;
+    PCA_SB_TAIL();
+
+sb_lbl_TkCmpReg:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    zeroFlag = regs[ti->r1] == regs[ti->r2];
+    lessFlag = static_cast<std::int64_t>(regs[ti->r1]) <
+        static_cast<std::int64_t>(regs[ti->r2]);
+    PCA_SB_TAIL();
+
+sb_lbl_TkTestReg:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    zeroFlag = (regs[ti->r1] & regs[ti->r2]) == 0;
+    lessFlag = false;
+    PCA_SB_TAIL();
+
+sb_lbl_TkXorReg:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    regs[ti->r1] ^= regs[ti->r2];
+    PCA_SB_TAIL();
+
+sb_lbl_TkAndImm:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    regs[ti->r1] &= static_cast<std::uint64_t>(ti->imm);
+    PCA_SB_TAIL();
+
+sb_lbl_TkOrReg:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    regs[ti->r1] |= regs[ti->r2];
+    PCA_SB_TAIL();
+
+sb_lbl_TkShlImm:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    regs[ti->r1] <<= ti->imm;
+    PCA_SB_TAIL();
+
+sb_lbl_TkShrImm:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    regs[ti->r1] >>= ti->imm;
+    PCA_SB_TAIL();
+
+sb_lbl_TkLoad:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    {
+        const Addr a = regs[ti->r2] + static_cast<Addr>(ti->imm);
+        auto it = memory.find(a);
+        regs[ti->r1] = it == memory.end() ? 0 : it->second;
+        dataAccess(a);
+    }
+    PCA_SB_TAIL();
+
+sb_lbl_TkStore:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    {
+        const Addr a = regs[ti->r2] + static_cast<Addr>(ti->imm);
+        memory[a] = regs[ti->r1];
+        dataAccess(a);
+    }
+    PCA_SB_TAIL();
+
+sb_lbl_TkPush:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    reg(Reg::Esp) -= 8;
+    memory[reg(Reg::Esp)] = regs[ti->r1];
+    dataAccess(reg(Reg::Esp));
+    PCA_SB_TAIL();
+
+sb_lbl_TkPop:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    regs[ti->r1] = memory[reg(Reg::Esp)];
+    dataAccess(reg(Reg::Esp));
+    reg(Reg::Esp) += 8;
+    PCA_SB_TAIL();
+
+sb_lbl_TkNop:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    PCA_SB_TAIL();
+
+sb_lbl_TkCpuid:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    pend += static_cast<Cycles>(archRef.cpuidCycles);
+    PCA_SB_TAIL();
+
+sb_lbl_TkJmp:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    predictor.noteUncond(ti->addr);
+    ++brRetired;
+    pend += frontEnd.onTakenBranch(
+        ti->addr, ti->addr + static_cast<Addr>(ti->size),
+        ti->targetAddr);
+    ++retired;
+    ++total;
+    // A closing jmp loops to pos 0 with no flush and no ff hook,
+    // exactly like the block engine (the hook is tied to conditional
+    // backward branches). nextIndex is the jump target either way.
+    pos = (ti->flags & TiClosing) != 0 ? 0 : pos + 1;
+    if ((check_irq && cycleCount + pend >= irq_due) ||
+        total >= budget) {
+        resume = ti->nextIndex;
+        poison |= (ti->flags & TiUnsafePrefix) != 0;
+        goto sb_leave;
+    }
+    PCA_SB_DISPATCH();
+
+sb_lbl_TkCond:
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    taken = ti->op2 == Opcode::Je    ? zeroFlag
+            : ti->op2 == Opcode::Jne ? !zeroFlag
+            : ti->op2 == Opcode::Jl  ? lessFlag
+                                     : !lessFlag;
+    if (predictor.predictAndTrain(ti->addr, taken)) {
+        passQuiet = false;
+        pend += static_cast<Cycles>(archRef.mispredictPenalty);
+        rawEv[static_cast<std::size_t>(EventType::BrMispRetired)]
+             [mi] += 1;
+        pmuUnit.count(EventType::BrMispRetired, Mode::User, 1);
+    }
+    ++brRetired;
+    if (taken) {
+        pend += frontEnd.onTakenBranch(
+            ti->addr, ti->addr + static_cast<Addr>(ti->size),
+            ti->targetAddr);
+        ++retired;
+        ++total;
+        goto sb_taken;
+    }
+    ++retired;
+    ++total;
+    ++pos;
+    // A not-taken closing branch is the loop's exit: the fall-through
+    // is outside the trace, so leave (pos would be one past the end).
+    if ((ti->flags & TiClosing) != 0 ||
+        (check_irq && cycleCount + pend >= irq_due) ||
+        total >= budget) {
+        resume = ti->nextIndex;
+        poison |= (ti->flags & TiUnsafePrefix) != 0;
+        goto sb_leave;
+    }
+    PCA_SB_DISPATCH();
+
+sb_lbl_TkFused:
+    // The compare half. Both halves retire and account individually;
+    // fusion only saves dispatches.
+    PCA_SB_FETCH(ti->addr, ti->line, ti->page, ti->w0, ti->w1);
+    switch (ti->op) {
+      case Opcode::CmpImm:
+        zeroFlag = regs[ti->r1] == static_cast<std::uint64_t>(ti->imm);
+        lessFlag = static_cast<std::int64_t>(regs[ti->r1]) < ti->imm;
+        break;
+      case Opcode::CmpReg:
+        zeroFlag = regs[ti->r1] == regs[ti->r2];
+        lessFlag = static_cast<std::int64_t>(regs[ti->r1]) <
+            static_cast<std::int64_t>(regs[ti->r2]);
+        break;
+      default: // TestReg
+        zeroFlag = (regs[ti->r1] & regs[ti->r2]) == 0;
+        lessFlag = false;
+        break;
+    }
+    ++retired;
+    ++total;
+    // The baseline polls between the compare and the branch.
+    if ((check_irq && cycleCount + pend >= irq_due) ||
+        total >= budget) {
+        resume = ti->branchIndex;
+        poison |= (ti->flags & TiUnsafePrefix) != 0;
+        goto sb_leave;
+    }
+    // The branch half.
+    PCA_SB_FETCH(ti->addr2, ti->line2, ti->page2, ti->w20, ti->w21);
+    taken = ti->op2 == Opcode::Je    ? zeroFlag
+            : ti->op2 == Opcode::Jne ? !zeroFlag
+            : ti->op2 == Opcode::Jl  ? lessFlag
+                                     : !lessFlag;
+    if (predictor.predictAndTrain(ti->addr2, taken)) {
+        passQuiet = false;
+        pend += static_cast<Cycles>(archRef.mispredictPenalty);
+        rawEv[static_cast<std::size_t>(EventType::BrMispRetired)]
+             [mi] += 1;
+        pmuUnit.count(EventType::BrMispRetired, Mode::User, 1);
+    }
+    ++brRetired;
+    if (taken) {
+        pend += frontEnd.onTakenBranch(
+            ti->addr2, ti->addr2 + static_cast<Addr>(ti->size2),
+            ti->targetAddr);
+        ++retired;
+        ++total;
+        goto sb_taken;
+    }
+    ++retired;
+    ++total;
+    ++pos;
+    // As above: the fall-through of a closing branch leaves the trace.
+    if ((ti->flags & TiClosing) != 0 ||
+        (check_irq && cycleCount + pend >= irq_due) ||
+        total >= budget) {
+        resume = ti->nextIndex;
+        poison |= (ti->flags & TiUnsafePrefix) != 0;
+        goto sb_leave;
+    }
+    PCA_SB_DISPATCH();
+
+sb_taken:
+    // A taken conditional branch: closes the pass or leaves the
+    // trace. The block engine flushes at every taken backward branch
+    // so the ff machinery observes committed state; with ff disabled
+    // nothing reads between passes (poisonSinceBackward and the loop
+    // table are consumed only inside maybeFastForwardKeyed), the
+    // retire/cycle batches are additive, and the horizon check works
+    // on cycleCount + pend — so a closing pass keeps batching.
+    poison |= (ti->flags & TiUnsafePrefix) != 0;
+    if ((ti->flags & TiClosing) != 0) {
+        if (ffEnabled) {
+            flush();
+            pc.block = blk;
+            pc.index = sb.head;
+            const std::uint64_t key =
+                (static_cast<std::uint64_t>(blk) << 32) |
+                static_cast<std::uint64_t>(ti->branchIndex);
+            maybeFastForwardKeyed(
+                key, program->inst(CodePtr{blk, ti->branchIndex}),
+                ti->branchIndex);
+            if ((check_irq && cycleCount >= irq_due) ||
+                total >= budget)
+                goto sb_leave_flushed; // pc is at the head
+        } else {
+            if ((check_irq && cycleCount + pend >= irq_due) ||
+                total >= budget) {
+                resume = sb.head;
+                goto sb_leave;
+            }
+            // Resident-pass fast path. Two consecutive quiet passes
+            // (every fetch a hit, no mispredict) with identical cycle
+            // cost prove the machine model has converged on this
+            // loop: the bimodal counters along the trace are
+            // saturated in the repeated direction (an unsaturated
+            // counter either mispredicts — not quiet — or saturates
+            // within one pass), caches, TLB, and BTB hold every
+            // touched line with pass-invariant recency order, and the
+            // front end re-enters each pass at the same window with
+            // an empty decode group. From that fixed point a further
+            // pass changes nothing but registers, flags, and the
+            // additive totals (residentEligible = no memory ops), so
+            // whole passes execute on the register file alone and
+            // retire in bulk. The first pass whose branches deviate
+            // from the trace path rolls the registers back and
+            // replays element-wise with full accounting — the
+            // deviation is exactly the mispredicted loop exit, and
+            // the replay charges it through the normal labels.
+            const Cycles passPend = pend - passStart;
+            if (sb.residentEligible && passQuiet &&
+                passPend == quietPend) {
+                poison |= sb.anyUnsafe;
+                const std::size_t elems = sb.code.size();
+                for (;;) {
+                    // An element-wise pass polls at retire points
+                    // whose horizon values never exceed the
+                    // end-of-pass value, so a pass is poll-free iff
+                    // the end stays below the horizon (and below the
+                    // step budget); otherwise replay element-wise so
+                    // the poll lands on its exact instruction.
+                    if (check_irq &&
+                        cycleCount + pend + passPend >= irq_due)
+                        break;
+                    if (total + sb.passRetired >= budget)
+                        break;
+                    const std::array<std::uint64_t, isa::numRegs>
+                        saved = regs;
+                    const bool szf = zeroFlag;
+                    const bool slf = lessFlag;
+                    bool deviated = false;
+                    for (std::size_t p = 0; p < elems; ++p) {
+                        const TraceInst &fi = tc[p];
+                        switch (fi.kind) {
+                          case TkMovImm:
+                            regs[fi.r1] =
+                                static_cast<std::uint64_t>(fi.imm);
+                            break;
+                          case TkMovReg:
+                            regs[fi.r1] = regs[fi.r2];
+                            break;
+                          case TkAddImm:
+                            regs[fi.r1] +=
+                                static_cast<std::uint64_t>(fi.imm);
+                            break;
+                          case TkAddReg:
+                            regs[fi.r1] += regs[fi.r2];
+                            break;
+                          case TkSubImm:
+                            regs[fi.r1] -=
+                                static_cast<std::uint64_t>(fi.imm);
+                            break;
+                          case TkSubReg:
+                            regs[fi.r1] -= regs[fi.r2];
+                            break;
+                          case TkCmpImm:
+                            zeroFlag = regs[fi.r1] ==
+                                static_cast<std::uint64_t>(fi.imm);
+                            lessFlag = static_cast<std::int64_t>(
+                                           regs[fi.r1]) < fi.imm;
+                            break;
+                          case TkCmpReg:
+                            zeroFlag = regs[fi.r1] == regs[fi.r2];
+                            lessFlag =
+                                static_cast<std::int64_t>(
+                                    regs[fi.r1]) <
+                                static_cast<std::int64_t>(
+                                    regs[fi.r2]);
+                            break;
+                          case TkTestReg:
+                            zeroFlag =
+                                (regs[fi.r1] & regs[fi.r2]) == 0;
+                            lessFlag = false;
+                            break;
+                          case TkXorReg:
+                            regs[fi.r1] ^= regs[fi.r2];
+                            break;
+                          case TkAndImm:
+                            regs[fi.r1] &=
+                                static_cast<std::uint64_t>(fi.imm);
+                            break;
+                          case TkOrReg:
+                            regs[fi.r1] |= regs[fi.r2];
+                            break;
+                          case TkShlImm:
+                            regs[fi.r1] <<= fi.imm;
+                            break;
+                          case TkShrImm:
+                            regs[fi.r1] >>= fi.imm;
+                            break;
+                          case TkFused:
+                            switch (fi.op) {
+                              case Opcode::CmpImm:
+                                zeroFlag = regs[fi.r1] ==
+                                    static_cast<std::uint64_t>(
+                                        fi.imm);
+                                lessFlag =
+                                    static_cast<std::int64_t>(
+                                        regs[fi.r1]) < fi.imm;
+                                break;
+                              case Opcode::CmpReg:
+                                zeroFlag =
+                                    regs[fi.r1] == regs[fi.r2];
+                                lessFlag =
+                                    static_cast<std::int64_t>(
+                                        regs[fi.r1]) <
+                                    static_cast<std::int64_t>(
+                                        regs[fi.r2]);
+                                break;
+                              default: // TestReg
+                                zeroFlag = (regs[fi.r1] &
+                                            regs[fi.r2]) == 0;
+                                lessFlag = false;
+                                break;
+                            }
+                            [[fallthrough]];
+                          case TkCond:
+                          {
+                            // In-trace path: mid-trace conditionals
+                            // fall through, the closing one is taken.
+                            const bool t =
+                                fi.op2 == Opcode::Je    ? zeroFlag
+                                : fi.op2 == Opcode::Jne ? !zeroFlag
+                                : fi.op2 == Opcode::Jl  ? lessFlag
+                                                        : !lessFlag;
+                            deviated =
+                                t != ((fi.flags & TiClosing) != 0);
+                            break;
+                          }
+                          case TkJmp:
+                          case TkNop:
+                          case TkCpuid: // fixed cycles: in passPend
+                            break;
+                          default:
+                            pca_panic("non-resident trace kind in "
+                                      "resident pass");
+                        }
+                        if (deviated)
+                            break;
+                    }
+                    if (deviated) {
+                        regs = saved;
+                        zeroFlag = szf;
+                        lessFlag = slf;
+                        break; // replay this pass element-wise
+                    }
+                    pend += passPend;
+                    retired += sb.passRetired;
+                    brRetired += sb.passBranches;
+                    total += sb.passRetired;
+                    predictor.noteSteadyLookups(sb.passConds);
+                }
+            }
+            quietPend = passQuiet ? passPend : ~Cycles{0};
+            passStart = pend;
+            passQuiet = true;
+        }
+        pos = 0;
+        PCA_SB_DISPATCH();
+    }
+    flush();
+    pc.block = blk;
+    pc.index = ti->exitIndex;
+    if ((ti->flags & TiBackward) != 0 && ffEnabled) {
+        // Backward branch to a non-head target: still a loop branch
+        // for the ff machinery.
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(blk) << 32) |
+            static_cast<std::uint64_t>(ti->branchIndex);
+        maybeFastForwardKeyed(
+            key, program->inst(CodePtr{blk, ti->branchIndex}),
+            ti->branchIndex);
+    }
+    PCA_SPC_INC(SuperblockExits);
+    return total;
+
+sb_leave:
+    flush();
+    pc.block = blk;
+    pc.index = resume;
+sb_leave_flushed:
+    PCA_SPC_INC(SuperblockExits);
+    return total;
+}
+
+#undef PCA_SB_FETCH
+#undef PCA_SB_DISPATCH
+#undef PCA_SB_TAIL
+
+} // namespace pca::cpu

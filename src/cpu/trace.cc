@@ -1,0 +1,240 @@
+#include "cpu/trace.hh"
+
+namespace pca::cpu
+{
+
+using isa::DecodedInst;
+using isa::Opcode;
+
+namespace
+{
+
+/** Trace kind for a plain (non-branch, non-fused) inline opcode. */
+TraceKind
+kindOf(Opcode op)
+{
+    switch (op) {
+      case Opcode::MovImm: return TkMovImm;
+      case Opcode::MovReg: return TkMovReg;
+      case Opcode::AddImm: return TkAddImm;
+      case Opcode::AddReg: return TkAddReg;
+      case Opcode::SubImm: return TkSubImm;
+      case Opcode::SubReg: return TkSubReg;
+      case Opcode::CmpImm: return TkCmpImm;
+      case Opcode::CmpReg: return TkCmpReg;
+      case Opcode::TestReg: return TkTestReg;
+      case Opcode::XorReg: return TkXorReg;
+      case Opcode::AndImm: return TkAndImm;
+      case Opcode::OrReg: return TkOrReg;
+      case Opcode::ShlImm: return TkShlImm;
+      case Opcode::ShrImm: return TkShrImm;
+      case Opcode::Load: return TkLoad;
+      case Opcode::Store: return TkStore;
+      case Opcode::Push: return TkPush;
+      case Opcode::Pop: return TkPop;
+      case Opcode::Nop: return TkNop;
+      case Opcode::Cpuid: return TkCpuid;
+      default: return NumTraceKinds;
+    }
+}
+
+bool
+cmpLike(Opcode op)
+{
+    return op == Opcode::CmpImm || op == Opcode::CmpReg ||
+        op == Opcode::TestReg;
+}
+
+/** Fill the address-derived fields for the primary instruction. */
+void
+fillAddr(TraceInst &ti, const DecodedInst &di,
+         const TraceGeometry &geom)
+{
+    ti.r1 = di.r1;
+    ti.r2 = di.r2;
+    ti.imm = di.imm;
+    ti.addr = di.addr;
+    ti.size = di.size;
+    ti.w0 = di.addr >> geom.windowShift;
+    ti.w1 = (di.addr + static_cast<Addr>(di.size) - 1) >>
+        geom.windowShift;
+    ti.line = di.addr >> geom.lineShift;
+    ti.page = di.addr >> geom.pageShift;
+}
+
+} // namespace
+
+void
+buildSuperblock(const isa::DecodedBlock &db, int block, int head,
+                const TraceGeometry &geom, Superblock &out)
+{
+    // Keep one trace per head bounded; a loop body longer than this
+    // gains little from tracing anyway (dispatch is not its cost).
+    constexpr std::size_t maxElems = 512;
+
+    out.ok = false;
+    out.anyUnsafe = false;
+    out.block = block;
+    out.head = head;
+    out.code.clear();
+
+    const auto n = static_cast<std::int32_t>(db.size());
+    std::int32_t idx = head;
+    bool unsafe = false;
+
+    while (out.code.size() < maxElems) {
+        if (idx < 0 || idx >= n)
+            return; // ran off the block without closing
+        const DecodedInst &di = db.inst(static_cast<std::size_t>(idx));
+        if (di.escape())
+            return; // foldables and true escapes end trace growth
+
+        TraceInst ti{};
+        fillAddr(ti, di, geom);
+        ti.nextIndex = idx + 1;
+        unsafe |= (di.flags & isa::DiFfSafe) == 0;
+        if (unsafe)
+            ti.flags |= TiUnsafePrefix;
+
+        const bool closing =
+            di.targetIndex == head && head < idx;
+
+        if (di.op == Opcode::Jmp) {
+            if (di.targetIndex < 0)
+                return;
+            ti.kind = TkJmp;
+            ti.branchIndex = idx;
+            ti.targetAddr = di.targetAddr;
+            ti.nextIndex = di.targetIndex;
+            if (closing) {
+                ti.flags |= TiClosing | TiBackward;
+                out.code.push_back(ti);
+                break;
+            }
+            if (di.targetIndex <= idx)
+                return; // backward jump elsewhere: no single hot path
+            out.code.push_back(ti);
+            idx = di.targetIndex;
+            continue;
+        }
+
+        if ((di.flags & isa::DiCondBranch) != 0) {
+            if (di.targetIndex < 0)
+                return;
+            ti.kind = TkCond;
+            ti.op2 = di.op;
+            ti.branchIndex = idx;
+            ti.exitIndex = di.targetIndex;
+            ti.targetAddr = di.targetAddr;
+            if (closing) {
+                ti.flags |= TiClosing | TiBackward;
+                out.code.push_back(ti);
+                break;
+            }
+            if (di.targetIndex >= 0 && di.targetIndex < idx)
+                ti.flags |= TiBackward;
+            out.code.push_back(ti); // assumed not-taken in-trace
+            ++idx;
+            continue;
+        }
+
+        // Macro-op fusion: a compare immediately followed by the
+        // conditional branch that consumes its flags executes as one
+        // element (both instructions fully retire and account).
+        if (cmpLike(di.op) && idx + 1 < n) {
+            const DecodedInst &dj =
+                db.inst(static_cast<std::size_t>(idx + 1));
+            if ((dj.flags & isa::DiCondBranch) != 0 &&
+                dj.targetIndex >= 0) {
+                ti.kind = TkFused;
+                ti.op = di.op;
+                ti.op2 = dj.op;
+                ti.addr2 = dj.addr;
+                ti.size2 = dj.size;
+                ti.w20 = dj.addr >> geom.windowShift;
+                ti.w21 = (dj.addr + static_cast<Addr>(dj.size) - 1) >>
+                    geom.windowShift;
+                ti.line2 = dj.addr >> geom.lineShift;
+                ti.page2 = dj.addr >> geom.pageShift;
+                ti.branchIndex = idx + 1;
+                ti.exitIndex = dj.targetIndex;
+                ti.targetAddr = dj.targetAddr;
+                ti.nextIndex = idx + 2;
+                const bool closing2 =
+                    dj.targetIndex == head && head < idx + 1;
+                if (closing2) {
+                    ti.flags |= TiClosing | TiBackward;
+                    out.code.push_back(ti);
+                    break;
+                }
+                if (dj.targetIndex >= 0 && dj.targetIndex < idx + 1)
+                    ti.flags |= TiBackward;
+                out.code.push_back(ti);
+                idx += 2;
+                continue;
+            }
+        }
+
+        const TraceKind k = kindOf(di.op);
+        if (k == NumTraceKinds)
+            return; // defensive: unclassified inline op
+        ti.kind = k;
+        out.code.push_back(ti);
+        ++idx;
+    }
+
+    // A trace is profitable only when it closes back to its head
+    // (the loop case); an open-ended path would exit dispatch every
+    // pass and do no better than the basic-block engine.
+    if (out.code.empty() ||
+        (out.code.back().flags & TiClosing) == 0)
+        return;
+    out.anyUnsafe = unsafe;
+
+    // Per-pass accounting totals and resident-pass eligibility (a
+    // pass with no memory ops has no side effects the engine cannot
+    // batch; see Core::runSuperblock's steady-state fast path).
+    bool memory = false;
+    for (const TraceInst &ti : out.code) {
+        switch (ti.kind) {
+          case TkLoad:
+          case TkStore:
+          case TkPush:
+          case TkPop:
+            memory = true;
+            ++out.passRetired;
+            break;
+          case TkJmp:
+            ++out.passRetired;
+            ++out.passBranches;
+            break;
+          case TkCond:
+            ++out.passRetired;
+            ++out.passBranches;
+            ++out.passConds;
+            break;
+          case TkFused:
+            out.passRetired += 2; // both halves retire
+            ++out.passBranches;
+            ++out.passConds;
+            break;
+          default:
+            ++out.passRetired;
+            break;
+        }
+    }
+    out.residentEligible = !memory;
+    out.ok = true;
+}
+
+const char *
+dispatchKindName()
+{
+#ifdef PCA_THREADED_DISPATCH
+    return "threaded";
+#else
+    return "switch";
+#endif
+}
+
+} // namespace pca::cpu

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Superblock (trace) images for the trace-tier execution engine.
+ *
+ * A superblock chains the hot path of a loop — the straight-line
+ * body, inline conditional branches assumed not-taken, forward jumps
+ * followed — into one dense array ending at the closing branch back
+ * to the loop head. Everything derivable at build time is
+ * precomputed per element: fetch-window ids, icache-line / iTLB-page
+ * keys, the decoded index to resume at on any exit, and the
+ * fast-forward poison prefix. The engine then executes whole loop
+ * passes per dispatch with threaded (computed-goto) dispatch where
+ * the toolchain supports it.
+ *
+ * Traces are pure derivatives of the immutable decoded program: they
+ * hold no architectural or PMU state, so rebuilding (or discarding)
+ * them can never change results. Core::reset() drops them wholesale,
+ * which is what makes reboot() equivalent to a fresh boot.
+ */
+
+#ifndef PCA_CPU_TRACE_HH
+#define PCA_CPU_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/decoded.hh"
+#include "obs/spc.hh"
+#include "support/types.hh"
+
+namespace pca::cpu
+{
+
+/** Dispatch kind of one trace element (dense: jump-table index). */
+enum TraceKind : std::uint8_t
+{
+    TkMovImm,
+    TkMovReg,
+    TkAddImm,
+    TkAddReg,
+    TkSubImm,
+    TkSubReg,
+    TkCmpImm,
+    TkCmpReg,
+    TkTestReg,
+    TkXorReg,
+    TkAndImm,
+    TkOrReg,
+    TkShlImm,
+    TkShrImm,
+    TkLoad,
+    TkStore,
+    TkPush,
+    TkPop,
+    TkNop,
+    TkCpuid,
+    TkJmp,   //!< unconditional branch followed by the trace
+    TkCond,  //!< conditional branch (assumed not-taken unless closing)
+    TkFused, //!< cmp/test + adjacent conditional branch, one element
+    NumTraceKinds,
+};
+
+/** Per-element flags. */
+enum TraceElemFlags : std::uint8_t
+{
+    /** Branch whose taken target is the trace head (loops to pos 0). */
+    TiClosing = 1 << 0,
+    /** Taken target precedes the branch: run the ff hook on taken. */
+    TiBackward = 1 << 1,
+    /**
+     * A non-fast-forward-safe element at or before this one in the
+     * trace: an exit here must poison the current loop observation,
+     * exactly as per-step retirement would have.
+     */
+    TiUnsafePrefix = 1 << 2,
+};
+
+/**
+ * One trace element: a decoded instruction (or a fused cmp+jcc pair)
+ * with every address-derived quantity precomputed.
+ */
+struct TraceInst
+{
+    TraceKind kind = TkNop;
+    std::uint8_t flags = 0;
+    std::uint8_t r1 = 0;
+    std::uint8_t r2 = 0;
+    isa::Opcode op = isa::Opcode::Nop;  //!< compare op (TkFused)
+    isa::Opcode op2 = isa::Opcode::Nop; //!< branch op (TkCond/TkFused)
+    std::int64_t imm = 0;
+
+    Addr addr = 0;
+    std::int32_t size = 0;
+    Addr w0 = 0, w1 = 0;     //!< fetch-window ids of [addr, addr+size)
+    Addr line = 0, page = 0; //!< icache-line / iTLB-page keys
+
+    /** Decoded index the run resumes at after this element completes
+     * on its in-trace path (fall-through; branch target for TkJmp). */
+    std::int32_t nextIndex = 0;
+    /** Decoded index of the taken-branch exit (-1: no taken exit). */
+    std::int32_t exitIndex = -1;
+    /** Decoded index of the branch instruction (ff hook key). */
+    std::int32_t branchIndex = -1;
+    Addr targetAddr = 0; //!< taken-branch target address
+
+    // Fused second instruction (the conditional branch).
+    Addr addr2 = 0;
+    std::int32_t size2 = 0;
+    Addr w20 = 0, w21 = 0;
+    Addr line2 = 0, page2 = 0;
+};
+
+/** A built superblock; ok=false marks an unprofitable head. */
+struct Superblock
+{
+    bool ok = false;
+    /** Any non-ff-safe element: a full pass poisons the loop. */
+    bool anyUnsafe = false;
+    /**
+     * No element touches memory (loads, stores, stack ops): a full
+     * pass mutates nothing but registers, flags, and the additive
+     * per-pass totals below, which makes the trace eligible for the
+     * engine's steady-state resident-pass fast path (see
+     * Core::runSuperblock).
+     */
+    bool residentEligible = false;
+    int block = -1; //!< owning decoded block
+    int head = 0;   //!< decoded index of the trace head (pos 0)
+    Count passRetired = 0;  //!< instructions retired by one full pass
+    Count passBranches = 0; //!< branch instructions per full pass
+    Count passConds = 0;    //!< predictor lookups per full pass
+    std::vector<TraceInst> code;
+};
+
+/** Address-derived shift amounts the builder precomputes keys with. */
+struct TraceGeometry
+{
+    int windowShift = 0; //!< log2(fetch window bytes)
+    int lineShift = 0;   //!< log2(icache line bytes)
+    int pageShift = 0;   //!< log2(iTLB page bytes)
+};
+
+/**
+ * Build the superblock anchored at decoded index @p head of @p db.
+ * Returns out.ok=false (and leaves out.code empty) when no profitable
+ * trace exists: the path escapes, leaves the block, or never closes
+ * back to the head. The builder touches no simulation state.
+ */
+void buildSuperblock(const isa::DecodedBlock &db, int block, int head,
+                     const TraceGeometry &geom, Superblock &out);
+
+/** "threaded" or "switch": which dispatch this binary was built with. */
+const char *dispatchKindName();
+
+/**
+ * Escape-accounting class of a decoded-engine dispatch exit: which
+ * SPC a fallback to the legacy interpreter (or, for the trace tier,
+ * a privilege-transition exit) is charged to.
+ */
+inline obs::Spc
+escapeSpc(isa::Opcode op)
+{
+    switch (op) {
+      case isa::Opcode::Call:
+      case isa::Opcode::Ret:
+        return obs::Spc::DecodedEscapeCallret;
+      case isa::Opcode::Rdtsc:
+      case isa::Opcode::Rdpmc:
+        return obs::Spc::DecodedEscapeTimeread;
+      case isa::Opcode::Syscall:
+      case isa::Opcode::Iret:
+        return obs::Spc::DecodedEscapeSyscall;
+      default:
+        return obs::Spc::DecodedEscapeOther;
+    }
+}
+
+} // namespace pca::cpu
+
+#endif // PCA_CPU_TRACE_HH

@@ -84,6 +84,7 @@ Machine::finalize(Addr user_text_offset)
     coreImpl->setProgram(&prog);
     coreImpl->setFastForwardEnabled(cfg.fastForward);
     coreImpl->setDecodeCacheEnabled(cfg.decodeCache);
+    coreImpl->setTraceTierEnabled(cfg.traceTier);
     const Status attach_status = kernelImpl->attach(*coreImpl);
     pca_assert(attach_status.ok());
     if (!cfg.interruptsEnabled)
@@ -115,6 +116,7 @@ Machine::reboot(std::uint64_t seed)
     coreImpl->reset();
     coreImpl->setFastForwardEnabled(cfg.fastForward);
     coreImpl->setDecodeCacheEnabled(cfg.decodeCache);
+    coreImpl->setTraceTierEnabled(cfg.traceTier);
     kernelImpl->reset(seed);
     // Re-seed the injector so runs after reboot(s) replay the same
     // fault schedule as a fresh boot with seed s (the reboot

@@ -60,6 +60,7 @@ toMachineConfig(const HarnessConfig &cfg)
     mc.preemptProb = cfg.preemptProb;
     mc.fastForward = cfg.fastForward;
     mc.decodeCache = cfg.decodeCache;
+    mc.traceTier = cfg.traceTier;
     mc.faults = cfg.faults;
     mc.profile = cfg.profile;
     return mc;
@@ -254,6 +255,7 @@ ProgramCache::key(const HarnessConfig &cfg,
     k += prob;
     k += cfg.fastForward ? "/ff" : "/noff";
     k += cfg.decodeCache ? "/dc" : "/nodc";
+    k += cfg.traceTier ? "/tt" : "/nott";
     // Sessions built under different fault plans simulate different
     // machines; they must never alias (the seed stays excluded — it
     // varies per run, not per program).

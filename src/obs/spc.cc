@@ -41,6 +41,15 @@ spcName(Spc c)
       case Spc::DegradedPoints: return "degraded_points";
       case Spc::ProfileSamples: return "profile_samples";
       case Spc::ProfileSkidInstrs: return "profile_skid_instrs";
+      case Spc::DecodedEscapeCallret:
+        return "decoded_escape_callret";
+      case Spc::DecodedEscapeTimeread:
+        return "decoded_escape_timeread";
+      case Spc::DecodedEscapeSyscall:
+        return "decoded_escape_syscall";
+      case Spc::DecodedEscapeOther: return "decoded_escape_other";
+      case Spc::SuperblocksFormed: return "superblocks_formed";
+      case Spc::SuperblockExits: return "superblock_exits";
       case Spc::NumSpcs: break;
     }
     return "?";

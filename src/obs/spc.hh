@@ -48,6 +48,12 @@ enum class Spc : std::uint8_t
     DegradedPoints,     //!< study rows recorded as degraded
     ProfileSamples,     //!< sampling-profiler samples latched
     ProfileSkidInstrs,  //!< user instructions traversed as skid
+    DecodedEscapeCallret,  //!< decoded-engine exits at call/ret
+    DecodedEscapeTimeread, //!< decoded-engine exits at rdtsc/rdpmc
+    DecodedEscapeSyscall,  //!< decoded-engine exits at syscall/iret
+    DecodedEscapeOther,    //!< decoded-engine exits at hostop/halt/...
+    SuperblocksFormed,     //!< superblocks (traces) built
+    SuperblockExits,       //!< superblock executions ended (any reason)
     NumSpcs,
 };
 

@@ -1,0 +1,440 @@
+/**
+ * @file
+ * The superblock/trace tier's one contract: it must be invisible.
+ * Architectural state, PMU counts, interrupt delivery, fault-plan
+ * behaviour and every canned study's CSV must be byte-identical with
+ * the tier on and off — serial or parallel — while the per-reason
+ * escape counters show that call/ret and time reads actually fold
+ * into the decoded engine. Plus unit tests of the trace builder
+ * (closing branches, macro-op fusion, per-pass accounting totals).
+ */
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/factor_space.hh"
+#include "core/study.hh"
+#include "cpu/trace.hh"
+#include "harness/harness.hh"
+#include "harness/machine.hh"
+#include "harness/microbench.hh"
+#include "isa/assembler.hh"
+#include "isa/program.hh"
+#include "obs/spc.hh"
+
+using namespace pca;
+using namespace pca::harness;
+
+// ---------------------------------------------------------------- //
+// Trace-builder unit tests
+// ---------------------------------------------------------------- //
+
+namespace
+{
+
+/** Linked single-block counted loop (movImm; add/cmp/jne; halt). */
+isa::Program
+linkLoop(Count iters)
+{
+    isa::Assembler a("main");
+    a.movImm(isa::Reg::Eax, 0);
+    int loop = a.label();
+    a.addImm(isa::Reg::Eax, 1)
+        .cmpImm(isa::Reg::Eax, static_cast<std::int64_t>(iters))
+        .jne(loop)
+        .halt();
+    isa::Program p;
+    p.add(a.take());
+    p.link2(/*user_base=*/0x1000, /*kernel_base=*/0x100000);
+    return p;
+}
+
+cpu::TraceGeometry
+flatGeometry()
+{
+    cpu::TraceGeometry g;
+    g.windowShift = 4;
+    g.lineShift = 6;
+    g.pageShift = 12;
+    return g;
+}
+
+} // namespace
+
+TEST(SuperblockBuilder, CountedLoopFormsFusedClosingTrace)
+{
+    const isa::Program p = linkLoop(100);
+    cpu::Superblock sb;
+    // The loop head is decoded index 1 (the addImm after movImm).
+    buildSuperblock(p.decoded(0), 0, 1, flatGeometry(), sb);
+    ASSERT_TRUE(sb.ok);
+
+    // add; cmp+jne fused: two elements, the second closing.
+    ASSERT_EQ(sb.code.size(), 2u);
+    EXPECT_EQ(sb.code[0].kind, cpu::TkAddImm);
+    EXPECT_EQ(sb.code[1].kind, cpu::TkFused);
+    EXPECT_NE(sb.code[1].flags & cpu::TiClosing, 0);
+    EXPECT_NE(sb.code[1].flags & cpu::TiBackward, 0);
+
+    // Per-pass accounting: 3 retired (fused counts both halves), one
+    // branch, one predictor lookup; no memory ops -> resident.
+    EXPECT_EQ(sb.passRetired, 3u);
+    EXPECT_EQ(sb.passBranches, 1u);
+    EXPECT_EQ(sb.passConds, 1u);
+    EXPECT_TRUE(sb.residentEligible);
+    EXPECT_FALSE(sb.anyUnsafe);
+}
+
+TEST(SuperblockBuilder, EscapeInBodyRejectsTrace)
+{
+    isa::Assembler a("main");
+    a.movImm(isa::Reg::Esi, 0);
+    int loop = a.label();
+    a.rdtsc() // foldable escape: ends trace growth before closing
+        .addImm(isa::Reg::Esi, 1)
+        .cmpImm(isa::Reg::Esi, 10)
+        .jne(loop)
+        .halt();
+    isa::Program p;
+    p.add(a.take());
+    p.link2(0x1000, 0x100000);
+
+    cpu::Superblock sb;
+    buildSuperblock(p.decoded(0), 0, 1, flatGeometry(), sb);
+    EXPECT_FALSE(sb.ok);
+    EXPECT_TRUE(sb.code.empty());
+}
+
+TEST(SuperblockBuilder, MemoryOpsDisableResidentPasses)
+{
+    isa::Assembler a("main");
+    a.movImm(isa::Reg::Eax, 0);
+    int loop = a.label();
+    a.load(isa::Reg::Ebx, isa::Reg::Esp, 0)
+        .addImm(isa::Reg::Eax, 1)
+        .cmpImm(isa::Reg::Eax, 10)
+        .jne(loop)
+        .halt();
+    isa::Program p;
+    p.add(a.take());
+    p.link2(0x1000, 0x100000);
+
+    cpu::Superblock sb;
+    buildSuperblock(p.decoded(0), 0, 1, flatGeometry(), sb);
+    ASSERT_TRUE(sb.ok);
+    EXPECT_FALSE(sb.residentEligible);
+    EXPECT_EQ(sb.passRetired, 4u);
+}
+
+TEST(SuperblockBuilder, DispatchKindIsNamed)
+{
+    const std::string kind = cpu::dispatchKindName();
+    EXPECT_TRUE(kind == "threaded" || kind == "switch") << kind;
+}
+
+// ---------------------------------------------------------------- //
+// Machine-level identity, interrupts live
+// ---------------------------------------------------------------- //
+
+namespace
+{
+
+/** Digest of a full run: results plus every raw event counter. */
+std::string
+digestOf(Machine &m)
+{
+    const cpu::RunResult r = m.run();
+    std::ostringstream os;
+    os << r.userInstr << '/' << r.kernelInstr << '/' << r.cycles
+       << '/' << r.interrupts << '/' << r.fastForwardedIters;
+    for (std::size_t e = 0; e < cpu::numEvents; ++e)
+        for (auto mode : {Mode::User, Mode::Kernel})
+            os << '/'
+               << m.core().rawEvents(static_cast<cpu::EventType>(e),
+                                     mode);
+    return os.str();
+}
+
+/** Counted loop on a full machine (interrupts on by default). */
+std::string
+loopDigest(bool decode, bool trace, Count iters)
+{
+    MachineConfig cfg;
+    cfg.processor = cpu::Processor::PentiumD;
+    cfg.iface = Interface::Pc;
+    cfg.decodeCache = decode;
+    cfg.traceTier = trace;
+    Machine m(cfg);
+    isa::Assembler a("main");
+    a.movImm(isa::Reg::Eax, 0);
+    int loop = a.label();
+    a.addImm(isa::Reg::Eax, 1)
+        .cmpImm(isa::Reg::Eax, static_cast<std::int64_t>(iters))
+        .jne(loop)
+        .halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    return digestOf(m);
+}
+
+/**
+ * Call-heavy loop: every iteration calls a leaf (so the decoded
+ * return-address stack is live in nearly every dispatch) and reads
+ * the TSC (so the time-read fold runs under batched state). The
+ * counter lives in Esi because rdtsc writes Eax.
+ */
+std::string
+callLoopDigest(bool decode, bool trace, Count iters,
+               bool interrupts = true)
+{
+    MachineConfig cfg;
+    cfg.processor = cpu::Processor::PentiumD;
+    cfg.iface = Interface::Pc;
+    cfg.interruptsEnabled = interrupts;
+    cfg.decodeCache = decode;
+    cfg.traceTier = trace;
+    Machine m(cfg);
+    {
+        isa::Assembler fn("leaf");
+        fn.addImm(isa::Reg::Ebx, 1).ret();
+        m.addUserBlock(fn.take());
+    }
+    isa::Assembler a("main");
+    a.movImm(isa::Reg::Esi, 0);
+    int loop = a.label();
+    a.call("leaf")
+        .rdtsc()
+        .addImm(isa::Reg::Esi, 1)
+        .cmpImm(isa::Reg::Esi, static_cast<std::int64_t>(iters))
+        .jne(loop)
+        .halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    return digestOf(m);
+}
+
+} // namespace
+
+TEST(TraceTierCore, InterruptDeliveryIdentical)
+{
+    // Long enough that superblocks form, resident passes engage, and
+    // many interrupts land mid-trace. The tier must break dispatch at
+    // exactly the cycles the per-step interpreter polls.
+    const std::string legacy = loopDigest(false, false, 200000);
+    EXPECT_EQ(loopDigest(true, false, 200000), legacy);
+    EXPECT_EQ(loopDigest(true, true, 200000), legacy);
+}
+
+TEST(TraceTierCore, ReturnStackIdenticalUnderInterrupts)
+{
+    // Interrupts deliver between dispatches while the folded call/ret
+    // path keeps the core's call stack live; the fold must leave the
+    // stack exactly as legacy stepping would at every poll point.
+    const std::string off = callLoopDigest(true, false, 30000);
+    const std::string on = callLoopDigest(true, true, 30000);
+    EXPECT_EQ(on, off);
+    EXPECT_EQ(callLoopDigest(false, false, 30000), off);
+}
+
+TEST(TraceTierCore, TimeReadFoldIdenticalInterruptsOff)
+{
+    // With interrupts off the whole run is one long dispatch chain:
+    // every rdtsc must still observe fully-retired state.
+    const std::string off = callLoopDigest(true, false, 30000, false);
+    EXPECT_EQ(callLoopDigest(true, true, 30000, false), off);
+}
+
+TEST(TraceTierCore, EscapesFoldAwayAndRebootReforms)
+{
+    obs::spcReset();
+    obs::spcAttach("all");
+
+    MachineConfig cfg;
+    cfg.processor = cpu::Processor::AthlonX2;
+    cfg.iface = Interface::Pm;
+    cfg.interruptsEnabled = false;
+    cfg.fastForward = false;
+    cfg.decodeCache = true;
+    cfg.traceTier = true;
+    Machine m(cfg);
+    {
+        isa::Assembler fn("leaf");
+        fn.addImm(isa::Reg::Ebx, 1).ret();
+        m.addUserBlock(fn.take());
+    }
+    isa::Assembler a("main");
+    a.movImm(isa::Reg::Esi, 0);
+    int warm = a.label();
+    a.addImm(isa::Reg::Esi, 1)
+        .cmpImm(isa::Reg::Esi, 1000)
+        .jne(warm);
+    a.movImm(isa::Reg::Esi, 0);
+    int loop = a.label();
+    a.call("leaf")
+        .rdtsc()
+        .addImm(isa::Reg::Esi, 1)
+        .cmpImm(isa::Reg::Esi, 1000)
+        .jne(loop)
+        .halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+
+    const std::string first = digestOf(m);
+    const Count formed = obs::spcValue(obs::Spc::SuperblocksFormed);
+    EXPECT_GE(formed, 1u);
+    // Call/ret and rdtsc fold into the decoded engine: no legacy
+    // fallbacks for them. The only "other" escape is the final halt.
+    EXPECT_EQ(obs::spcValue(obs::Spc::DecodedEscapeCallret), 0u);
+    EXPECT_EQ(obs::spcValue(obs::Spc::DecodedEscapeTimeread), 0u);
+    EXPECT_EQ(obs::spcValue(obs::Spc::DecodedEscapeSyscall), 0u);
+
+    // Power-on reset drops the trace cache: the rebooted machine must
+    // re-form (and re-count) its superblocks, and produce the same
+    // digest as the first boot.
+    m.reboot(cfg.seed);
+    EXPECT_EQ(digestOf(m), first);
+    EXPECT_GT(obs::spcValue(obs::Spc::SuperblocksFormed), formed);
+
+    obs::spcReset();
+}
+
+TEST(TraceTierCore, EscapeCountersTellTiersApart)
+{
+    obs::spcReset();
+    obs::spcAttach("all");
+
+    MachineConfig cfg;
+    cfg.processor = cpu::Processor::AthlonX2;
+    cfg.iface = Interface::Pm;
+    cfg.interruptsEnabled = false;
+    cfg.fastForward = false;
+    cfg.decodeCache = true;
+    cfg.traceTier = false; // block engine: call/ret/rdtsc escape
+    Machine m(cfg);
+    {
+        isa::Assembler fn("leaf");
+        fn.addImm(isa::Reg::Ebx, 1).ret();
+        m.addUserBlock(fn.take());
+    }
+    isa::Assembler a("main");
+    a.movImm(isa::Reg::Esi, 0);
+    int loop = a.label();
+    a.call("leaf")
+        .rdtsc()
+        .addImm(isa::Reg::Esi, 1)
+        .cmpImm(isa::Reg::Esi, 500)
+        .jne(loop)
+        .halt();
+    m.addUserBlock(a.take());
+    m.finalize();
+    m.run();
+
+    // call + ret per iteration, one rdtsc per iteration.
+    EXPECT_EQ(obs::spcValue(obs::Spc::DecodedEscapeCallret), 1000u);
+    EXPECT_EQ(obs::spcValue(obs::Spc::DecodedEscapeTimeread), 500u);
+    obs::spcReset();
+}
+
+// ---------------------------------------------------------------- //
+// Canned studies: byte-identical CSV across tiers
+// ---------------------------------------------------------------- //
+
+namespace
+{
+
+/**
+ * Run @p study with the execution tier chosen by env (the switch the
+ * whole study pipeline reads); return its CSV.
+ */
+template <typename StudyFn>
+std::string
+csvWithTier(bool decode, bool trace, int threads, StudyFn &&study)
+{
+    setenv("PCA_DECODE", decode ? "1" : "0", 1);
+    setenv("PCA_TRACE_TIER", trace ? "1" : "0", 1);
+    setenv("PCA_THREADS", std::to_string(threads).c_str(), 1);
+    const core::DataTable table = study();
+    unsetenv("PCA_THREADS");
+    unsetenv("PCA_TRACE_TIER");
+    unsetenv("PCA_DECODE");
+    std::ostringstream os;
+    table.writeCsv(os);
+    return os.str();
+}
+
+/** All tier points: trace, block-only, legacy. */
+template <typename StudyFn>
+void
+expectTiersIdentical(StudyFn &&study)
+{
+    for (const int threads : {1, 4}) {
+        const std::string ref = csvWithTier(true, true, threads, study);
+        EXPECT_EQ(csvWithTier(true, false, threads, study), ref)
+            << "block vs trace, threads=" << threads;
+        EXPECT_EQ(csvWithTier(false, false, threads, study), ref)
+            << "legacy vs trace, threads=" << threads;
+    }
+}
+
+} // namespace
+
+TEST(TraceTierStudies, NullErrorStudyByteIdentical)
+{
+    const auto points = core::FactorSpace()
+                            .processors({cpu::Processor::Core2Duo,
+                                         cpu::Processor::PentiumD})
+                            .optLevels({2})
+                            .counterCounts({1, 2})
+                            .generate();
+    ASSERT_FALSE(points.empty());
+    core::StudyObsOptions obs;
+    obs.attributionColumns = true;
+    expectTiersIdentical(
+        [&] { return core::runNullErrorStudy(points, 3, 42, obs); });
+}
+
+TEST(TraceTierStudies, DurationStudyByteIdentical)
+{
+    core::DurationStudyOptions opt;
+    opt.processors = {cpu::Processor::Core2Duo,
+                      cpu::Processor::PentiumD};
+    opt.loopSizes = {1, 1000, 5000};
+    opt.runsPerSize = 2;
+    expectTiersIdentical([&] { return core::runDurationStudy(opt); });
+}
+
+TEST(TraceTierStudies, CycleStudyByteIdentical)
+{
+    core::CycleStudyOptions opt;
+    opt.processors = {cpu::Processor::Core2Duo};
+    opt.loopSizes = {1, 1000};
+    opt.optLevels = {0, 3};
+    opt.runsPerConfig = 2;
+    expectTiersIdentical([&] { return core::runCycleStudy(opt); });
+}
+
+TEST(TraceTierStudies, FaultPlanByteIdentical)
+{
+    // A live fault plan exercises retries, degraded rows, and
+    // counter-width wraps; the trace tier must be invisible there too
+    // (faults act on the PMU and kernel, not instruction dispatch),
+    // and fault-plan perturbations must never alias cached programs
+    // across tiers (the ProgramCache key carries both).
+    setenv("PCA_FAULTS", "seed=7,rate=0.05,width=48", 1);
+    const auto points = core::FactorSpace()
+                            .processors({cpu::Processor::Core2Duo})
+                            .optLevels({2})
+                            .counterCounts({1, 2})
+                            .generate();
+    auto study = [&] {
+        return core::runNullErrorStudy(points, 3, 42,
+                                       core::StudyObsOptions{});
+    };
+    const std::string on = csvWithTier(true, true, 4, study);
+    const std::string block = csvWithTier(true, false, 4, study);
+    unsetenv("PCA_FAULTS");
+    EXPECT_EQ(on, block);
+}
